@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact (figure or table) exactly
+once per session (``pedantic`` with a single round -- these are
+minutes-long simulations, not microbenchmarks) and prints the resulting
+rows/series so the bench log doubles as the reproduction record.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run one experiment under pytest-benchmark and print its tables."""
+    result = benchmark.pedantic(
+        lambda: runner(quick=True, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    return result

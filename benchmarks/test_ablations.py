@@ -1,0 +1,34 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md §6).
+
+These quantify trade-offs the paper discusses in prose: the cancellation
+cooldown (§5.3), the detection period (§3.3), and the re-execution
+fairness path (§4).
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_experiment
+
+
+def test_ablation_cooldown(benchmark):
+    result = run_experiment(benchmark, ablations.run_cooldown)
+    p99 = result.table("p99")
+    # Slower cancellation (longer cooldown) must not *improve* the tail:
+    # the fastest setting is at least as good as the slowest on average.
+    fastest = p99.column(p99.columns[1])
+    slowest = p99.column(p99.columns[-1])
+    assert sum(fastest) <= sum(slowest) * 1.2
+
+
+def test_ablation_detection_period(benchmark):
+    result = run_experiment(benchmark, ablations.run_detection_period)
+    assert result.tables[0].rows
+
+
+def test_ablation_reexecution(benchmark):
+    result = run_experiment(benchmark, ablations.run_no_reexecution)
+    table = result.tables[0]
+    # Without re-execution, every cancellation is a loss: the drop rate
+    # is at least as high in every case.
+    for case, with_reexec, without in table.rows:
+        assert without >= with_reexec - 1e-9, case

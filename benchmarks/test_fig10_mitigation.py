@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 10: mitigation across the 16 cases.
+
+Paper headline: Atropos sustains 96% of baseline throughput, bounds p99
+to 1.16x on average, and drops fewer than 0.01% of requests.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig10(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig10"])
+    summary = {row[0]: row[1] for row in result.table("summary").rows}
+    assert summary["avg_norm_throughput"] > 0.9
+    assert summary["avg_drop_rate"] < 0.01
+    # Atropos beats the uncontrolled run on p99 in every case.
+    for row in result.table("10b").rows:
+        case, overload, atropos = row
+        assert atropos < overload, case

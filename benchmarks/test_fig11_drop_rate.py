@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 11: drop rate, Atropos vs Protego.
+
+Paper headline: Atropos drops < 0.01% of requests; Protego averages ~25%.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig11(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig11"])
+    summary = result.table("summary").row_map()
+    assert summary["Protego"][1] > summary["Atropos"][1] * 10
+    assert summary["Atropos"][1] < 0.01

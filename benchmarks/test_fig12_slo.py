@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 12: SLO maintenance under different thresholds."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig12(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig12"])
+    assert result.tables

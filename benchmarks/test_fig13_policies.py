@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 13: cancellation-policy ablation.
+
+Paper headline: the multi-objective policy is at least as good as the
+greedy heuristic and the current-usage variant, and strictly better on
+multi-resource / long-task cases.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig13(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig13"])
+    summary = result.table("summary").row_map()
+    moo_tput = summary["Multi-Objective"][1]
+    assert moo_tput > 0.9
+    for other in ("Heuristic", "Current Usage"):
+        assert moo_tput >= summary[other][1] - 0.05, other
+    # The late-culprit scenario exposes the current-usage failure mode:
+    # it cancels the nearly-done report instead of the fresh dump.
+    late = result.table("late-culprit").row_map()
+    assert late["Multi-Objective"][3] == "dump"
+    assert late["Current Usage"][3] == "report_query"
+    assert late["Current Usage"][2] > late["Multi-Objective"][2]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 14: tracing/decision overhead.
+
+Paper headline: <= 1.95% throughput overhead under normal load (0.59%
+average); ~7-8% under overload with fine-grained tracing enabled.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig14(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig14"])
+    tput = result.table("14a")
+    cols = tput.columns
+    for row in tput.rows:
+        app = row[0]
+        # Normal-load overhead is small.
+        assert row[cols.index("Read")] > 0.9, app
+        assert row[cols.index("Write")] > 0.9, app

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 2: dump queries vs buffer pool contention."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig2(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig2"])
+    assert result.tables

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 3: table-lock contention."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig3(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig3"])
+    assert result.tables

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 4: Protego vs pBox vs Atropos."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig4(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig4"])
+    assert result.tables

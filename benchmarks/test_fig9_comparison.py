@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 9: Atropos vs Protego/pBox/DARC/PARTIES.
+
+Paper headline (§5.2): Atropos averages 96% normalized throughput and
+1.16x normalized p99; Protego/pBox/DARC/PARTIES average 50.7%, 53.9%,
+36.3%, 37.8% throughput respectively.  We assert the ordering, not the
+absolute numbers.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_fig9(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["fig9"])
+    summary = result.table("summary").row_map()
+    atropos_tput = summary["atropos"][1]
+    assert atropos_tput > 0.9
+    for system in ("protego", "pbox", "darc", "parties"):
+        assert atropos_tput >= summary[system][1], system
+    # p99: Atropos beats the isolation/scheduling systems outright.
+    # Protego can match or edge it on raw p99 -- but only by shedding
+    # ~20% of all requests (Fig 11's comparison), so it is excluded here.
+    atropos_p99 = summary["atropos"][2]
+    for system in ("pbox", "darc", "parties"):
+        assert atropos_p99 <= summary[system][2], system

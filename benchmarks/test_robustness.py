@@ -1,0 +1,17 @@
+"""Benchmark: multi-seed robustness of the headline mitigation result."""
+
+from repro.experiments import robustness
+
+from conftest import run_experiment
+
+
+def test_robustness(benchmark):
+    result = run_experiment(benchmark, robustness.run)
+    table = result.tables[0]
+    cols = table.columns
+    for row in table.rows:
+        case = row[0]
+        # Throughput restored at every seed.
+        assert row[cols.index("tput_min")] > 0.85, case
+        # Drops stay small at every seed.
+        assert row[cols.index("drop_max")] < 0.03, case

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table 1: the cancellation-support survey."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_table1(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["table1"])
+    text = result.format()
+    assert "151" in text and "76%" in text

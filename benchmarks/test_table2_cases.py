@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table 2: the 16 reproduced overload cases."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_table2(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["table2"])
+    assert len(result.tables[0].rows) == 16

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table 3: per-application integration effort."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import run_experiment
+
+
+def test_table3(benchmark):
+    result = run_experiment(benchmark, ALL_EXPERIMENTS["table3"])
+    assert len(result.tables[0].rows) == 6

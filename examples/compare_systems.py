@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare overload-control systems on a reproduced real-world case.
+
+Runs one of the paper's 16 cases (default: c1, the MySQL backup-lock
+convoy) under every controller -- uncontrolled, ATROPOS, Protego, pBox,
+DARC, PARTIES, SEDA -- and prints the Figure 9-style comparison.
+
+Usage::
+
+    python examples/compare_systems.py [case_id]
+"""
+
+import sys
+
+from repro.baselines import controller_factory
+from repro.cases import all_case_ids, get_case
+
+SYSTEMS = [
+    "overload", "atropos", "protego", "pbox", "darc", "parties",
+    "seda", "breakwater",
+]
+
+
+def main():
+    case_id = sys.argv[1] if len(sys.argv) > 1 else "c1"
+    if case_id not in all_case_ids():
+        raise SystemExit(
+            f"unknown case {case_id!r}; choose one of {all_case_ids()}"
+        )
+    case = get_case(case_id)
+    print(f"Case {case.case_id} ({case.app_name}): {case.trigger}")
+    print(f"Culprit operations: {sorted(case.culprit_ops)}\n")
+
+    baseline = case.run_baseline()
+    print(
+        f"{'system':<10} {'tput(norm)':>10} {'p99(norm)':>10} "
+        f"{'drop rate':>10} {'cancels':>8}"
+    )
+    for system in SYSTEMS:
+        result = case.run(
+            controller_factory=controller_factory(
+                system,
+                case.slo_latency,
+                atropos_overrides=case.atropos_overrides,
+            )
+        )
+        print(
+            f"{system:<10} "
+            f"{result.throughput / baseline.throughput:>10.2f} "
+            f"{result.p99_latency / baseline.p99_latency:>10.1f} "
+            f"{result.drop_rate:>10.4f} "
+            f"{result.controller.cancels_issued:>8}"
+        )
+    print(
+        "\n(normalized against the non-overloaded baseline: "
+        f"{baseline.throughput:.0f} req/s, "
+        f"p99 {baseline.p99_latency * 1000:.1f} ms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

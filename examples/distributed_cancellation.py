@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Distributed cancellation: the paper's §4 extension sketch, running.
+
+A scatter-gather request fans out to three simulated nodes. When the
+coordinator decides to cancel the root request, the task tree propagates
+the signal to every child; a partitioned node misses it, and a retry
+after the partition heals completes the cancellation.
+
+Usage::
+
+    python examples/distributed_cancellation.py
+"""
+
+from repro.core import BaseController, CancelSignal
+from repro.core.distributed import Node, TaskTree
+from repro.sim import Environment, Interrupt
+
+
+def main():
+    env = Environment()
+    controller = BaseController(env)
+    nodes = [Node("node-1"), Node("node-2"), Node("node-3")]
+
+    def shard_worker(env, name, tree, node):
+        task = controller.create_cancel(op_name=f"shard@{name}")
+        tree.add_child(task, node)
+        try:
+            yield env.timeout(100.0)  # long shard scan
+            print(f"  [{env.now:5.3f}s] {name}: completed (not cancelled)")
+        except Interrupt as exc:
+            print(f"  [{env.now:5.3f}s] {name}: cancelled "
+                  f"({exc.cause.reason})")
+        finally:
+            controller.free_cancel(task)
+            tree.remove_child(task)
+
+    def coordinator(env):
+        root = controller.create_cancel(op_name="scatter-gather-root")
+        tree = TaskTree(env, root, propagation_delay=0.005)
+        for node in nodes:
+            env.process(shard_worker(env, node.name, tree, node))
+        yield env.timeout(0.05)  # let the fan-out start
+
+        print(f"[{env.now:5.3f}s] node-3 partitions away")
+        nodes[2].partition()
+
+        print(f"[{env.now:5.3f}s] coordinator cancels the root request")
+        try:
+            deliveries = yield from tree.cancel_all(
+                CancelSignal(reason="client-disconnected")
+            )
+        except Interrupt:
+            deliveries = tree.deliveries  # root's own interrupt
+        for d in deliveries:
+            status = "ok" if d.delivered else f"FAILED ({d.reason})"
+            print(f"  delivery to {d.task.op_name} on {d.node}: {status}")
+
+        print(f"[{env.now:5.3f}s] fully cancelled? {tree.fully_cancelled()}")
+        yield env.timeout(0.5)
+        print(f"[{env.now:5.3f}s] partition heals; retrying undelivered")
+        nodes[2].heal()
+        yield from tree.retry_undelivered()
+        controller.free_cancel(root)
+        yield env.timeout(0.01)  # let the retried interrupt land
+        print(f"[{env.now:5.3f}s] fully cancelled? {tree.fully_cancelled()}")
+
+    # The coordinator must survive the root's interrupt: run it as a
+    # separate supervisor process.
+    def supervisor(env):
+        root_proc = env.process(coordinator(env))
+        try:
+            yield root_proc
+        except Interrupt:
+            pass
+
+    env.process(supervisor(env))
+    env.run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Why the multi-objective policy beats its ablations (paper §3.4-3.5).
+
+Constructs the paper's own thought experiments directly against the
+estimator and the policy engine:
+
+1. *Future gain vs current usage* -- Query A (90% done, holds 60 pages)
+   versus Query B (10% done, holds 30 pages).  Current usage picks A;
+   future gain correctly picks B.
+2. *Multi-objective vs greedy* -- Task X (gain 3 on resource A only)
+   versus Task Y (gain 2.9 on A and 5 on B).  The greedy heuristic looks
+   only at the hottest resource and picks X; scalarization picks Y.
+
+Usage::
+
+    python examples/policy_ablation.py
+"""
+
+from repro.core import (
+    AtroposConfig,
+    BaseController,
+    CurrentUsagePolicy,
+    Estimator,
+    GetNextProgress,
+    GreedyHeuristicPolicy,
+    MultiObjectivePolicy,
+    ResourceType,
+    RuntimeManager,
+)
+from repro.core.estimator import (
+    OverloadAssessment,
+    ResourceReport,
+    TaskReport,
+)
+from repro.sim import Environment
+
+
+def spawn_task(env, controller, name, progress=None):
+    holder = {}
+
+    def body(env):
+        holder["task"] = controller.create_cancel(
+            op_name=name, progress=progress
+        )
+        yield env.timeout(1000.0)
+
+    env.process(body(env))
+    env.run(until=env.now + 1e-6)
+    return holder["task"]
+
+
+def demo_future_gain():
+    print("=" * 64)
+    print("1. Future gain vs current usage (paper §3.4)")
+    print("=" * 64)
+    env = Environment()
+    controller = BaseController(env)
+    config = AtroposConfig()
+    runtime = RuntimeManager(env, config)
+    estimator = Estimator(env, runtime, config)
+    pool = controller.register_resource("buffer_pool", ResourceType.MEMORY)
+
+    prog_a = GetNextProgress(100)
+    prog_a.advance(90)
+    query_a = spawn_task(env, controller, "query_A_90pct", prog_a)
+    runtime.record_get(query_a, pool, 60)
+
+    prog_b = GetNextProgress(100)
+    prog_b.advance(10)
+    query_b = spawn_task(env, controller, "query_B_10pct", prog_b)
+    runtime.record_get(query_b, pool, 30)
+
+    print(f"  Query A: 90% done, holds 60 pages")
+    print(f"    current usage = {estimator.current_usage(query_a, pool):.0f}")
+    print(f"    future gain   = {estimator.resource_gain(query_a, pool):.1f}")
+    print(f"  Query B: 10% done, holds 30 pages")
+    print(f"    current usage = {estimator.current_usage(query_b, pool):.0f}")
+    print(f"    future gain   = {estimator.resource_gain(query_b, pool):.1f}")
+    print(
+        "  -> current usage would cancel the nearly-finished A; "
+        "future gain correctly targets B.\n"
+    )
+
+
+def demo_multi_objective():
+    print("=" * 64)
+    print("2. Multi-objective vs greedy heuristic (paper §3.5)")
+    print("=" * 64)
+    env = Environment()
+    controller = BaseController(env)
+    res_a = controller.register_resource("resA", ResourceType.MEMORY)
+    res_b = controller.register_resource("resB", ResourceType.LOCK)
+    task_x = spawn_task(env, controller, "task_X")
+    task_y = spawn_task(env, controller, "task_Y")
+
+    assessment = OverloadAssessment(
+        resources=[
+            ResourceReport(res_a, 0.6, 0.6, True),
+            ResourceReport(res_b, 0.55, 0.55, True),
+        ],
+        tasks=[
+            TaskReport(task_x, 0.5, {res_a: 3.0}),
+            TaskReport(task_y, 0.5, {res_a: 2.9, res_b: 5.0}),
+        ],
+    )
+    print("  Resource A contention 0.60; resource B contention 0.55")
+    print("  Task X: gain 3.0 on A only")
+    print("  Task Y: gain 2.9 on A, 5.0 on B")
+    for policy in (GreedyHeuristicPolicy(), MultiObjectivePolicy()):
+        task, score = policy.select(assessment)
+        print(f"  {policy.name:<18} -> cancels {task.op_name}"
+              f" (score {score:.2f})")
+    print(
+        "  -> greedy converges on the locally optimal X; the "
+        "multi-objective policy sees Y's combined gain.\n"
+    )
+
+
+def main():
+    demo_future_gain()
+    demo_multi_objective()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig10 [--full] [--seed N]
+    python -m repro all [--full] [--output FILE]
+    python -m repro case c5 [--system atropos] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+from .reporting import DEFAULT_ORDER, render_report, run_experiments
+
+
+def cmd_list(args) -> int:
+    print("Available experiments (paper artifact -> runner):")
+    for exp_id in DEFAULT_ORDER:
+        print(f"  {exp_id}")
+    print("\nAvailable cases: c1..c16 (see `python -m repro case <id>`)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_experiments(
+        [args.experiment],
+        quick=not args.full,
+        seed=args.seed,
+        progress=lambda i, dt: print(f"[{i} done in {dt:.1f}s]\n"),
+    )
+    print(results[args.experiment].format())
+    return 0
+
+
+def cmd_all(args) -> int:
+    def progress(exp_id, elapsed):
+        print(f"  {exp_id:<8} done in {elapsed:6.1f}s", flush=True)
+
+    print("Running all experiments "
+          f"({'full' if args.full else 'quick'} mode)...")
+    results = run_experiments(
+        quick=not args.full, seed=args.seed, progress=progress
+    )
+    report = render_report(results)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"\nreport written to {args.output}")
+    else:
+        print()
+        print(report)
+    return 0
+
+
+def cmd_case(args) -> int:
+    from .baselines import controller_factory
+    from .cases import all_case_ids, get_case
+
+    if args.case not in all_case_ids():
+        print(
+            f"unknown case {args.case!r}; known: {all_case_ids()}",
+            file=sys.stderr,
+        )
+        return 2
+    case = get_case(args.case)
+    print(f"{case.case_id} ({case.app_name}): {case.trigger}")
+    baseline = case.run_baseline(seed=args.seed)
+    result = case.run(
+        controller_factory=controller_factory(
+            args.system,
+            case.slo_latency,
+            atropos_overrides=case.atropos_overrides,
+        ),
+        seed=args.seed,
+    )
+    s = result.summary
+    print(
+        f"system={args.system}  "
+        f"norm_tput={s.throughput / baseline.throughput:.3f}  "
+        f"norm_p99={s.p99_latency / baseline.p99_latency:.2f}  "
+        f"drop_rate={s.drop_rate:.4f}  "
+        f"cancels={result.controller.cancels_issued}"
+    )
+    if args.explain and hasattr(result.controller, "explain"):
+        print("\nDecision timeline:")
+        print(result.controller.explain(limit=args.explain))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ATROPOS (SOSP 2025) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments and cases")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="e.g. fig10, table1")
+    p_run.add_argument("--full", action="store_true",
+                       help="full sweeps instead of quick mode")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=cmd_run)
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--full", action="store_true")
+    p_all.add_argument("--seed", type=int, default=0)
+    p_all.add_argument("--output", help="write the report to a file")
+    p_all.set_defaults(func=cmd_all)
+
+    p_case = sub.add_parser("case", help="run one overload case")
+    p_case.add_argument("case", help="c1..c16")
+    p_case.add_argument(
+        "--system",
+        default="atropos",
+        choices=["overload", "atropos", "protego", "pbox", "darc",
+                 "parties", "seda", "breakwater"],
+    )
+    p_case.add_argument("--seed", type=int, default=0)
+    p_case.add_argument(
+        "--explain",
+        type=int,
+        nargs="?",
+        const=40,
+        default=0,
+        metavar="N",
+        help="print the last N decision-timeline events (atropos only)",
+    )
+    p_case.set_defaults(func=cmd_case)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Simulated application models instrumented with the controller APIs."""
+
+from .apache import Apache, ApacheConfig
+from .base import Application, Operation
+from .elasticsearch import Elasticsearch, ElasticsearchConfig
+from .etcd import Etcd, EtcdConfig
+from .mysql import MySQL, MySQLConfig
+from .postgres import PostgreSQL, PostgresConfig
+from .solr import Solr, SolrConfig
+
+__all__ = [
+    "Apache",
+    "ApacheConfig",
+    "Application",
+    "Elasticsearch",
+    "ElasticsearchConfig",
+    "Etcd",
+    "EtcdConfig",
+    "MySQL",
+    "MySQLConfig",
+    "Operation",
+    "PostgreSQL",
+    "PostgresConfig",
+    "Solr",
+    "SolrConfig",
+]

@@ -1,0 +1,222 @@
+"""Application model framework.
+
+Each simulated application (MySQL, PostgreSQL, Apache, Elasticsearch,
+Solr, etcd) subclasses :class:`Application`: it builds its internal
+resources from the sim primitives, registers the corresponding
+*application resources* with the overload controller (the paper's
+integration step), and implements one generator handler per operation.
+
+Handlers follow the safe-cancellation discipline: resource-holding
+regions are wrapped in context managers / try-finally so an interrupt at
+any checkpoint unwinds cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional
+
+from ..core.controller import BaseController
+from ..core.task import CancellableTask
+from ..core.types import DropRequest, ResourceHandle, ResourceType, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.rng import Rng
+
+
+class Operation:
+    """One request to execute against an application."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Optional[Dict[str, Any]] = None,
+        kind: TaskKind = TaskKind.REQUEST,
+        cancellable: bool = True,
+    ) -> None:
+        self.name = name
+        self.params = params or {}
+        self.kind = kind
+        self.cancellable = cancellable
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.name} {self.params}>"
+
+
+#: Handler signature: generator executing the operation for a task.
+Handler = Callable[..., Generator]
+
+
+class Application:
+    """Base class for simulated applications."""
+
+    name = "app"
+
+    def __init__(
+        self, env: "Environment", controller: BaseController, rng: "Rng"
+    ) -> None:
+        self.env = env
+        self.controller = controller
+        self.rng = rng
+        self._handlers: Dict[str, Handler] = {}
+        #: Count of instrumentation sites (tracing calls wired into this
+        #: app); reported in the Table 3 integration-effort experiment.
+        self.instrumentation_sites = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_handler(self, op_name: str, handler: Handler) -> None:
+        self._handlers[op_name] = handler
+
+    def register_resource(
+        self, name: str, rtype: ResourceType
+    ) -> ResourceHandle:
+        return self.controller.register_resource(f"{self.name}.{name}", rtype)
+
+    def operations(self) -> list:
+        return sorted(self._handlers.keys())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, task: CancellableTask, op: Operation) -> Generator:
+        """Run ``op`` on behalf of ``task`` (process generator)."""
+        handler = self._handlers.get(op.name)
+        if handler is None:
+            raise KeyError(f"{self.name} has no operation {op.name!r}")
+        yield from handler(task, **op.params)
+
+    # ------------------------------------------------------------------
+    # Instrumentation helpers (the ATROPOS tracing call sites)
+    # ------------------------------------------------------------------
+    def trace_get(
+        self, task: CancellableTask, resource: ResourceHandle, amount: float = 1.0
+    ) -> None:
+        self.controller.get_resource(task, resource, amount)
+        self._charge_tracing(task)
+
+    def trace_free(
+        self, task: CancellableTask, resource: ResourceHandle, amount: float = 1.0
+    ) -> None:
+        self.controller.free_resource(task, resource, amount)
+        self._charge_tracing(task)
+
+    def trace_slow_by(
+        self,
+        task: CancellableTask,
+        resource: ResourceHandle,
+        delay: float,
+        events: float = 1.0,
+    ) -> None:
+        self.controller.slow_by_resource(task, resource, delay, events)
+        self._charge_tracing(task)
+
+    def _charge_tracing(self, task: CancellableTask) -> None:
+        """Accumulate tracing overhead as a latency debt on the task.
+
+        The debt is paid (as simulated delay) at the next checkpoint --
+        modelling the amortized rdtsc/sampled-timestamp cost of §3.2
+        without a yield per traced event.
+        """
+        cost = self.controller.tracing_cost(1)
+        if cost > 0.0:
+            task.metadata["trace_debt"] = (
+                task.metadata.get("trace_debt", 0.0) + cost
+            )
+
+    # ------------------------------------------------------------------
+    # Traced resource acquisition helpers
+    # ------------------------------------------------------------------
+    def acquire_lock(
+        self,
+        task: CancellableTask,
+        lock,
+        handle: ResourceHandle,
+        exclusive: bool = True,
+    ) -> Generator:
+        """Acquire a :class:`SyncLock` with ATROPOS tracing.
+
+        Usage (the grant must be released via :meth:`release_lock` in a
+        ``finally`` block)::
+
+            grant = yield from self.acquire_lock(task, lock, handle)
+            try:
+                ...
+            finally:
+                self.release_lock(task, grant, handle)
+
+        An interrupt while queued removes the request from the lock queue
+        before re-raising (safe cancellation at the wait checkpoint).
+        """
+        self.controller.begin_wait(task, handle)
+        grant = lock.acquire(owner=task, exclusive=exclusive)
+        try:
+            yield grant
+        except BaseException:
+            grant.close()
+            self.controller.end_wait(task, handle)
+            raise
+        self.controller.end_wait(task, handle)
+        self.trace_get(task, handle)
+        return grant
+
+    def release_lock(
+        self, task: CancellableTask, grant, handle: ResourceHandle
+    ) -> None:
+        """Release a grant obtained via :meth:`acquire_lock` (idempotent)."""
+        if grant.closed:
+            return
+        if grant.granted:
+            self.trace_free(task, handle)
+        grant.close()
+
+    def acquire_slot(
+        self,
+        task: CancellableTask,
+        pool,
+        handle: ResourceHandle,
+        klass: str = "default",
+    ) -> Generator:
+        """Acquire a :class:`ThreadPool` slot with ATROPOS tracing.
+
+        Same protocol as :meth:`acquire_lock`; release with
+        :meth:`release_lock`.
+        """
+        from ..sim.resources import QueueFull
+
+        self.controller.begin_wait(task, handle)
+        try:
+            grant = pool.submit(owner=task, klass=klass)
+        except QueueFull as exc:
+            # Admission queue overflow is an application-level rejection
+            # (HTTP 503 / too-many-connections), not a simulation error.
+            self.controller.end_wait(task, handle)
+            raise DropRequest(f"queue-full:{handle.name}") from exc
+        except BaseException:
+            self.controller.end_wait(task, handle)
+            raise
+        try:
+            yield grant
+        except BaseException:
+            grant.close()
+            self.controller.end_wait(task, handle)
+            raise
+        self.controller.end_wait(task, handle)
+        self.trace_get(task, handle)
+        return grant
+
+    def checkpoint(self, task: CancellableTask) -> Generator:
+        """Cancellation / control checkpoint inside a handler.
+
+        Applies, in order: the controller's victim-drop decision
+        (Protego), any penalty-throttle delay (pBox), and the accumulated
+        tracing-overhead debt.  Handlers call this at natural safe points.
+        """
+        if self.controller.should_drop(task):
+            raise DropRequest("controller-drop")
+        delay = self.controller.throttle_delay(task)
+        debt = task.metadata.pop("trace_debt", 0.0)
+        total = delay + debt
+        if total > 0.0:
+            yield self.env.timeout(total)

@@ -1,0 +1,68 @@
+"""Baseline overload-control / isolation systems the paper compares against.
+
+All baselines implement the shared :class:`~repro.core.controller.
+BaseController` interface so they run on the same instrumented
+applications (§5.1's integration methodology):
+
+* :class:`Protego` -- lock-contention-aware victim dropping (NSDI '23).
+* :class:`PBox` -- per-request performance isolation via penalties
+  (SOSP '23).
+* :class:`DARC` -- request-type-aware worker reservation (SOSP '21).
+* :class:`Parties` -- per-client incremental resource partitioning
+  (ASPLOS '19).
+* :class:`Seda` -- classic AIMD admission control (USITS '03).
+* :class:`Breakwater` -- credit-based admission on queueing delay
+  (OSDI '20).
+"""
+
+from .breakwater import Breakwater
+from .darc import DARC
+from .parties import Parties
+from .pbox import PBox
+from .protego import Protego
+from .seda import Seda
+
+__all__ = ["Breakwater", "DARC", "PBox", "Parties", "Protego", "Seda"]
+
+
+def controller_factory(
+    name: str, slo_latency: float = 0.05, atropos_overrides: dict = None
+):
+    """Build a controller factory by system name.
+
+    Recognized names: "atropos", "protego", "pbox", "darc", "parties",
+    "seda", "overload"/"none" (uncontrolled).  ``atropos_overrides`` are
+    extra :class:`AtroposConfig` fields (used by cases that need e.g. the
+    thread-level cancellation flag).
+    """
+    from ..core.atropos import Atropos
+    from ..core.config import AtroposConfig
+    from ..core.controller import NullController
+
+    name = name.lower()
+
+    def build(env):
+        if name == "atropos":
+            return Atropos(
+                env,
+                AtroposConfig(
+                    slo_latency=slo_latency, **(atropos_overrides or {})
+                ),
+            )
+        if name == "protego":
+            return Protego(env, slo_latency=slo_latency)
+        if name == "pbox":
+            return PBox(env, slo_latency=slo_latency)
+        if name == "darc":
+            return DARC(env)
+        if name == "parties":
+            return Parties(env, slo_latency=slo_latency)
+        if name == "seda":
+            return Seda(env, slo_latency=slo_latency)
+        if name == "breakwater":
+            return Breakwater(env, target_delay=slo_latency)
+        if name in ("overload", "none"):
+            return NullController(env)
+        raise ValueError(f"unknown controller {name!r}")
+
+    return build

@@ -1,0 +1,119 @@
+"""Breakwater baseline [Cho et al., OSDI '20].
+
+Credit-based admission control for microsecond-scale RPCs: the server
+computes a credit pool from observed queueing delay against a target
+(AQM-style additive-increase / multiplicative-decrease with
+overcommitment) and clients may only issue requests while holding a
+credit.  Effective against demand overload; blind to application
+resource overload, since the global delay signal cannot say *which*
+request monopolizes what (§2.2's critique).
+
+The paper uses Breakwater's detector shape inside ATROPOS (§3.3) and
+places the full system in Figure 1's design space; this implementation
+completes the comparison set.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.controller import BaseController
+from ..core.task import CancellableTask
+from ..sim.metrics import SlidingWindow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+
+class Breakwater(BaseController):
+    """Credit-based admission keyed on queueing delay."""
+
+    name = "breakwater"
+
+    def __init__(
+        self,
+        env: "Environment",
+        target_delay: float = 0.02,
+        adjust_period: float = 0.1,
+        initial_credits: int = 64,
+        min_credits: int = 4,
+        max_credits: int = 4096,
+        additive_increase: int = 4,
+        multiplicative_decrease: float = 0.8,
+        overcommit: float = 1.1,
+    ) -> None:
+        """
+        Args:
+            target_delay: queueing-delay target d_t; credits shrink when
+                the observed delay exceeds it.
+            overcommit: credits are slightly overcommitted relative to
+                inflight demand so idle capacity is never stranded.
+        """
+        super().__init__(env)
+        self.target_delay = target_delay
+        self.adjust_period = adjust_period
+        self.credits = float(initial_credits)
+        self.min_credits = min_credits
+        self.max_credits = max_credits
+        self.additive_increase = additive_increase
+        self.multiplicative_decrease = multiplicative_decrease
+        self.overcommit = overcommit
+        self.window = SlidingWindow(horizon=1.0)
+        #: Requests currently holding a credit (executing).
+        self.inflight = 0
+        self.rejections = 0
+        #: Sum of service-time estimates, for delay decomposition.
+        self._service_estimate = 0.005
+
+    # ------------------------------------------------------------------
+    # Credit pool adjustment (AIMD on queueing delay)
+    # ------------------------------------------------------------------
+    def observe_completion(self, record: "RequestRecord") -> None:
+        if record.completed:
+            self.window.observe(record.finish_time, record.latency)
+
+    def _queueing_delay(self) -> float:
+        """Observed delay in excess of the service-time estimate."""
+        mean = self.window.mean_latency(self.env.now)
+        if mean != mean:  # nan
+            return 0.0
+        return max(0.0, mean - self._service_estimate)
+
+    def start(self) -> None:
+        self.env.process(self._adjust_loop())
+
+    def _adjust_loop(self):
+        while True:
+            yield self.env.timeout(self.adjust_period)
+            delay = self._queueing_delay()
+            if delay > self.target_delay:
+                self.credits = max(
+                    float(self.min_credits),
+                    self.credits * self.multiplicative_decrease,
+                )
+            else:
+                self.credits = min(
+                    float(self.max_credits),
+                    self.credits + self.additive_increase,
+                )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, op_name: str, client_id: str) -> bool:
+        limit = self.credits * self.overcommit
+        if self.inflight < limit:
+            return True
+        self.rejections += 1
+        return False
+
+    def create_cancel(self, *args, **kwargs) -> CancellableTask:
+        task = super().create_cancel(*args, **kwargs)
+        self.inflight += 1
+        return task
+
+    def free_cancel(self, task: CancellableTask) -> None:
+        if id(task) in self.tasks:
+            self.inflight = max(0, self.inflight - 1)
+        super().free_cancel(task)

@@ -1,0 +1,122 @@
+"""PARTIES baseline [Chen et al., ASPLOS '19].
+
+PARTIES partitions resources among co-located services and incrementally
+shifts allocations toward whoever violates QoS.  Integrated at the client
+level (as the paper does in §5.2): each client gets a concurrency
+allocation; a monitor shrinks the allocation of clients that consume the
+most while the SLO is violated and slowly restores allocations when
+things are healthy.
+
+PARTIES never drops an executing request, so a culprit already holding a
+resource keeps it; throttled clients simply queue at admission.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..core.controller import BaseController
+from ..core.task import CancellableTask
+from ..sim.metrics import SlidingWindow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+
+class Parties(BaseController):
+    """Per-client incremental resource partitioning."""
+
+    name = "parties"
+
+    def __init__(
+        self,
+        env: "Environment",
+        slo_latency: float = 0.05,
+        adjust_period: float = 0.5,
+        initial_limit: int = 64,
+        min_limit: int = 1,
+    ) -> None:
+        super().__init__(env)
+        self.slo_latency = slo_latency
+        self.adjust_period = adjust_period
+        self.initial_limit = initial_limit
+        self.min_limit = min_limit
+        #: client -> concurrency allocation.
+        self.limits: Dict[str, int] = {}
+        #: client -> currently executing requests.
+        self.inflight: Dict[str, int] = {}
+        #: client -> cumulative busy time (usage signal).
+        self.busy_time: Dict[str, float] = {}
+        self.window = SlidingWindow(horizon=1.0)
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    # Admission by per-client allocation
+    # ------------------------------------------------------------------
+    def _limit(self, client_id: str) -> int:
+        return self.limits.setdefault(client_id, self.initial_limit)
+
+    def admit(self, op_name: str, client_id: str) -> bool:
+        limit = self._limit(client_id)
+        if self.inflight.get(client_id, 0) >= limit:
+            self.rejections += 1
+            return False
+        return True
+
+    def create_cancel(self, *args, **kwargs) -> CancellableTask:
+        task = super().create_cancel(*args, **kwargs)
+        client = task.client_id
+        self._limit(client)  # ensure the client has an allocation entry
+        self.inflight[client] = self.inflight.get(client, 0) + 1
+        return task
+
+    def free_cancel(self, task: CancellableTask) -> None:
+        if id(task) in self.tasks:
+            client = task.client_id
+            self.inflight[client] = max(0, self.inflight.get(client, 0) - 1)
+            self.busy_time[client] = (
+                self.busy_time.get(client, 0.0) + task.age
+            )
+        super().free_cancel(task)
+
+    # ------------------------------------------------------------------
+    # Monitoring and adjustment
+    # ------------------------------------------------------------------
+    def observe_completion(self, record: "RequestRecord") -> None:
+        if record.completed:
+            self.window.observe(record.finish_time, record.latency)
+
+    def start(self) -> None:
+        self.env.process(self._adjust_loop())
+
+    def _usage_score(self, client_id: str) -> float:
+        """Busy-time so far plus the live tasks' elapsed time."""
+        score = self.busy_time.get(client_id, 0.0)
+        for task in self.tasks.values():
+            if task.alive and task.client_id == client_id:
+                score += task.age
+        return score
+
+    def _adjust_loop(self):
+        while True:
+            yield self.env.timeout(self.adjust_period)
+            now = self.env.now
+            tail = self.window.latency_percentile(now, 99)
+            violated = tail == tail and tail > self.slo_latency  # nan-safe
+            if violated:
+                # Shift resources away from the heaviest client.
+                clients = [c for c in self.limits if self.inflight.get(c, 0)]
+                if not clients:
+                    continue
+                heaviest = max(clients, key=self._usage_score)
+                new_limit = max(self.min_limit, self._limit(heaviest) // 2)
+                self.limits[heaviest] = new_limit
+            else:
+                # Healthy: slowly restore allocations.
+                for client in list(self.limits):
+                    if self.limits[client] < self.initial_limit:
+                        self.limits[client] += 1
+            # Usage scores decay each window so history does not dominate.
+            for client in list(self.busy_time):
+                self.busy_time[client] *= 0.5

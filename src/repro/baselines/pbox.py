@@ -1,0 +1,138 @@
+"""pBox baseline [Hu et al., SOSP '23].
+
+pBox pushes performance-isolation boundaries into the application: it
+traces per-request resource usage, detects interference, and *penalizes*
+(throttles) the offending request -- but it never drops a running
+request.  §2.2's critique: a throttled culprit still holds what it
+already acquired, so severe overload caused by held resources is not
+fully recovered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..core.config import AtroposConfig
+from ..core.controller import BaseController
+from ..core.estimator import Estimator
+from ..core.runtime import RuntimeManager
+from ..core.task import CancellableTask
+from ..core.types import ResourceHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+
+class PBox(BaseController):
+    """Interference detection + penalty throttling (no drops)."""
+
+    name = "pbox"
+
+    def __init__(
+        self,
+        env: "Environment",
+        slo_latency: float = 0.05,
+        detection_period: float = 0.1,
+        penalty_delay: float = 0.05,
+        penalty_duration: float = 1.0,
+        contention_threshold: float = 0.25,
+    ) -> None:
+        """
+        Args:
+            penalty_delay: delay injected at each checkpoint of a
+                penalized task.
+            penalty_duration: how long a penalty sticks before expiring.
+        """
+        super().__init__(env)
+        self.config = AtroposConfig(
+            slo_latency=slo_latency,
+            detection_period=detection_period,
+            contention_threshold=contention_threshold,
+        )
+        # pBox traces the same per-task usage signals (its "observation
+        # points"); we reuse the runtime/estimator machinery.
+        self.runtime = RuntimeManager(env, self.config)
+        self.estimator = Estimator(env, self.runtime, self.config)
+        self.penalty_delay = penalty_delay
+        self.penalty_duration = penalty_duration
+        #: task-id -> penalty expiry time.
+        self._penalized: Dict[int, float] = {}
+        self.penalties_issued = 0
+
+    # ------------------------------------------------------------------
+    # Tracing (delegated to the runtime manager)
+    # ------------------------------------------------------------------
+    def create_cancel(self, *args, **kwargs) -> CancellableTask:
+        task = super().create_cancel(*args, **kwargs)
+        self.runtime.task_started(task)
+        return task
+
+    def free_cancel(self, task: CancellableTask) -> None:
+        if id(task) in self.tasks:
+            self.runtime.task_finished(task)
+        self._penalized.pop(id(task), None)
+        super().free_cancel(task)
+
+    def get_resource(self, task, resource, amount: float = 1.0) -> None:
+        self.runtime.record_get(task, resource, amount)
+
+    def free_resource(self, task, resource, amount: float = 1.0) -> None:
+        self.runtime.record_free(task, resource, amount)
+
+    def slow_by_resource(
+        self, task, resource, delay: float, events: float = 1.0
+    ) -> None:
+        self.runtime.record_slow_by(task, resource, delay, events)
+
+    def begin_wait(self, task, resource) -> None:
+        self.runtime.record_wait_start(task, resource)
+
+    def end_wait(self, task, resource) -> float:
+        return self.runtime.record_wait_end(task, resource)
+
+    # ------------------------------------------------------------------
+    # Penalty mechanism
+    # ------------------------------------------------------------------
+    def throttle_delay(self, task: CancellableTask) -> float:
+        expiry = self._penalized.get(id(task))
+        if expiry is None:
+            return 0.0
+        if self.env.now >= expiry:
+            del self._penalized[id(task)]
+            return 0.0
+        return self.penalty_delay
+
+    def start(self) -> None:
+        self.env.process(self._monitor_loop())
+
+    def _monitor_loop(self):
+        while True:
+            yield self.env.timeout(self.config.detection_period)
+            self._maybe_penalize()
+            self.runtime.roll_window()
+
+    def _maybe_penalize(self) -> None:
+        assessment = self.estimator.assess(
+            resources=list(self.resources.values()),
+            tasks=self.live_tasks(),
+            use_future_gain=False,  # pBox reasons about observed usage
+        )
+        overloaded = assessment.overloaded_resources
+        if not overloaded:
+            return
+        # Penalize the top consumer of each overloaded resource.
+        for report in overloaded:
+            best: Optional[CancellableTask] = None
+            best_usage = 0.0
+            for task_report in assessment.tasks:
+                usage = task_report.gain(report.resource)
+                if usage > best_usage and task_report.task.alive:
+                    best = task_report.task
+                    best_usage = usage
+            if best is not None:
+                if id(best) not in self._penalized:
+                    self.penalties_issued += 1
+                self._penalized[id(best)] = (
+                    self.env.now + self.penalty_duration
+                )

@@ -1,0 +1,150 @@
+"""Protego baseline [Cho et al., NSDI '23].
+
+Protego lets requests execute, monitors each request's *blocking delay*
+(primarily lock wait), and drops requests whose accumulated wait
+approaches an SLO violation.  It drops the *victims* of contention, never
+the culprit holding the resource -- the limitation §2.2 demonstrates:
+tail latency is bounded, but throughput craters and the drop rate is
+high, and cases whose bottleneck is a non-waitable resource (memory
+thrash, GC) are not helped at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..core.controller import BaseController
+from ..core.task import CancellableTask
+from ..core.types import DropSignal, ResourceHandle, ResourceType, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+class Protego(BaseController):
+    """Victim-dropping overload control keyed on blocking delay."""
+
+    name = "protego"
+
+    def __init__(
+        self,
+        env: "Environment",
+        slo_latency: float = 0.05,
+        drop_fraction: float = 0.8,
+        monitor_period: float = 0.02,
+    ) -> None:
+        """
+        Args:
+            slo_latency: the request latency SLO.
+            drop_fraction: drop a request once its accumulated blocking
+                delay exceeds ``drop_fraction * slo_latency``.
+            monitor_period: how often waiting requests are scanned.
+        """
+        super().__init__(env)
+        self.slo_latency = slo_latency
+        self.drop_fraction = drop_fraction
+        self.monitor_period = monitor_period
+        #: (task-id) -> accumulated closed blocking delay.
+        self._closed_wait: Dict[int, float] = {}
+        #: (task-id, resource) -> open wait start time.
+        self._open_waits: Dict[Tuple[int, ResourceHandle], float] = {}
+        self.drops_issued = 0
+
+    # ------------------------------------------------------------------
+    # Wait tracking
+    # ------------------------------------------------------------------
+    def _waitable(self, resource: ResourceHandle) -> bool:
+        """Protego monitors blocking delays (locks, queues, devices) --
+        not memory-style resources, whose cost shows up as slow
+        execution rather than waiting."""
+        return resource.rtype is not ResourceType.MEMORY
+
+    def begin_wait(
+        self, task: CancellableTask, resource: ResourceHandle
+    ) -> None:
+        if self._waitable(resource):
+            self._open_waits[(id(task), resource)] = self.env.now
+
+    def slow_by_resource(
+        self,
+        task: CancellableTask,
+        resource: ResourceHandle,
+        delay: float,
+        events: float = 1.0,
+    ) -> None:
+        # Post-hoc blocking delays (e.g. CPU run-queue waits reported
+        # after a burst) also count toward the request's budget.
+        if self._waitable(resource):
+            self._closed_wait[id(task)] = (
+                self._closed_wait.get(id(task), 0.0) + delay
+            )
+
+    def end_wait(
+        self, task: CancellableTask, resource: ResourceHandle
+    ) -> float:
+        start = self._open_waits.pop((id(task), resource), None)
+        if start is None:
+            return 0.0
+        duration = self.env.now - start
+        self._closed_wait[id(task)] = (
+            self._closed_wait.get(id(task), 0.0) + duration
+        )
+        return duration
+
+    def blocking_delay(self, task: CancellableTask) -> float:
+        """Total blocking delay so far (closed + in-progress waits)."""
+        total = self._closed_wait.get(id(task), 0.0)
+        now = self.env.now
+        for (task_id, _res), start in self._open_waits.items():
+            if task_id == id(task):
+                total += now - start
+        return total
+
+    def free_cancel(self, task: CancellableTask) -> None:
+        self._closed_wait.pop(id(task), None)
+        stale = [k for k in self._open_waits if k[0] == id(task)]
+        for k in stale:
+            del self._open_waits[k]
+        super().free_cancel(task)
+
+    # ------------------------------------------------------------------
+    # Dropping
+    # ------------------------------------------------------------------
+    @property
+    def drop_threshold(self) -> float:
+        return self.drop_fraction * self.slo_latency
+
+    def should_drop(self, task: CancellableTask) -> bool:
+        """Checkpoint hook: drop executing victims over budget."""
+        if task.kind is TaskKind.BACKGROUND:
+            return False
+        return self.blocking_delay(task) > self.drop_threshold
+
+    def start(self) -> None:
+        self.env.process(self._monitor_loop())
+
+    def _monitor_loop(self):
+        """Scan blocked requests; waiting victims cannot reach an
+        application checkpoint, so Protego aborts them directly."""
+        while True:
+            yield self.env.timeout(self.monitor_period)
+            now = self.env.now
+            victims = []
+            for (task_id, resource), start in list(self._open_waits.items()):
+                task = self.tasks.get(task_id)
+                if task is None or not task.alive:
+                    continue
+                if task.kind is TaskKind.BACKGROUND:
+                    continue
+                if self.blocking_delay(task) > self.drop_threshold:
+                    victims.append((task, resource))
+            for task, resource in victims:
+                if task.process is not None and task.process.is_alive:
+                    self.drops_issued += 1
+                    task.process.interrupt(
+                        DropSignal(
+                            reason="lock-wait-over-budget",
+                            resource=resource,
+                            decided_at=now,
+                        )
+                    )

@@ -1,0 +1,81 @@
+"""SEDA-style adaptive admission control [Welsh & Culler, USITS '03].
+
+Classic overload control from the design space of Figure 1: an AIMD rate
+limiter at admission driven by observed tail latency.  It protects the
+system from *demand* overload but is indiscriminate -- it cannot tell
+culprit from victim, so under application resource overload it sheds
+load across the board.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.controller import BaseController
+from ..sim.metrics import SlidingWindow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+
+class Seda(BaseController):
+    """AIMD token-bucket admission keyed on tail latency."""
+
+    name = "seda"
+
+    def __init__(
+        self,
+        env: "Environment",
+        slo_latency: float = 0.05,
+        adjust_period: float = 0.2,
+        initial_rate: float = 1000.0,
+        min_rate: float = 10.0,
+        additive_increase: float = 25.0,
+        multiplicative_decrease: float = 0.7,
+    ) -> None:
+        super().__init__(env)
+        self.slo_latency = slo_latency
+        self.adjust_period = adjust_period
+        self.rate = initial_rate
+        self.min_rate = min_rate
+        self.additive_increase = additive_increase
+        self.multiplicative_decrease = multiplicative_decrease
+        self.window = SlidingWindow(horizon=1.0)
+        self._tokens = initial_rate * adjust_period
+        self._last_refill = env.now
+        self.rejections = 0
+
+    def _refill(self) -> None:
+        now = self.env.now
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            cap = self.rate * self.adjust_period
+            self._tokens = min(cap, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    def admit(self, op_name: str, client_id: str) -> bool:
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        self.rejections += 1
+        return False
+
+    def observe_completion(self, record: "RequestRecord") -> None:
+        if record.completed:
+            self.window.observe(record.finish_time, record.latency)
+
+    def start(self) -> None:
+        self.env.process(self._adjust_loop())
+
+    def _adjust_loop(self):
+        while True:
+            yield self.env.timeout(self.adjust_period)
+            tail = self.window.latency_percentile(self.env.now, 99)
+            if tail == tail and tail > self.slo_latency:  # nan-safe
+                self.rate = max(
+                    self.min_rate, self.rate * self.multiplicative_decrease
+                )
+            else:
+                self.rate += self.additive_increase

@@ -1,0 +1,20 @@
+"""The 16 reproduced real-world overload cases of Table 2.
+
+Importing this package registers every case; use :func:`get_case` /
+:func:`all_cases` to build them.
+"""
+
+from .base import CaseSpec, all_case_ids, all_cases, get_case, register_case
+
+# Importing the modules registers the cases.
+from . import mysql_cases  # noqa: F401  (registration side effect)
+from . import postgres_cases  # noqa: F401
+from . import web_search_cases  # noqa: F401
+
+__all__ = [
+    "CaseSpec",
+    "all_case_ids",
+    "all_cases",
+    "get_case",
+    "register_case",
+]

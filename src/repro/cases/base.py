@@ -1,0 +1,107 @@
+"""Case framework: the 16 reproduced overload scenarios of Table 2.
+
+Each case bundles an application factory, a workload factory (with and
+without the culprit), metadata matching Table 2, and the tuning knobs the
+experiment harness needs (duration, warm-up, SLO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ..core.controller import BaseController
+from ..experiments.harness import RunResult, run_simulation
+from ..sim.environment import Environment
+from ..sim.rng import Rng
+from ..workloads.spec import Workload
+
+
+@dataclass
+class CaseSpec:
+    """One reproduced real-world overload case."""
+
+    case_id: str
+    app_name: str
+    #: Table 2 "Resource Type" column label.
+    resource_type: str
+    #: Table 2 "Resource" column.
+    resource_detail: str
+    #: Table 2 "Overload Triggering Condition" column.
+    trigger: str
+    #: Operation names of the culprit(s) (what ATROPOS should cancel).
+    culprit_ops: Set[str]
+
+    app_factory: Callable
+    #: workload_factory(app, rng, include_culprit) -> Workload
+    workload_factory: Callable
+
+    duration: float = 12.0
+    warmup: float = 2.0
+    #: Latency SLO given to controllers.  Roughly 4x the healthy baseline
+    #: p99 (~5 ms) -- the paper's SLOs are similarly tight (§5.3 uses a
+    #: 20% tolerance over baseline).
+    slo_latency: float = 0.02
+    #: Per-case AtroposConfig overrides (e.g. c9 enables the thread-level
+    #: cancellation flag for PHP scripts, §5.2).
+    atropos_overrides: Dict[str, object] = field(default_factory=dict)
+
+    def run(
+        self,
+        controller_factory: Optional[Callable[[Environment], BaseController]] = None,
+        include_culprit: bool = True,
+        seed: int = 0,
+        duration: Optional[float] = None,
+    ) -> RunResult:
+        """Run this case under a controller (default: uncontrolled)."""
+
+        def workload(app, rng):
+            return self.workload_factory(app, rng, include_culprit)
+
+        return run_simulation(
+            self.app_factory,
+            workload,
+            controller_factory=controller_factory,
+            duration=duration if duration is not None else self.duration,
+            warmup=self.warmup,
+            seed=seed,
+        )
+
+    def run_baseline(self, seed: int = 0) -> RunResult:
+        """Run the non-overloaded baseline (no culprit, no controller)."""
+        return self.run(include_culprit=False, seed=seed)
+
+
+#: Global registry: case id ("c1".."c16") -> builder returning a CaseSpec.
+_REGISTRY: Dict[str, Callable[[], CaseSpec]] = {}
+
+
+def register_case(case_id: str):
+    """Decorator registering a case builder under ``case_id``."""
+
+    def wrap(builder: Callable[[], CaseSpec]):
+        if case_id in _REGISTRY:
+            raise ValueError(f"case {case_id} already registered")
+        _REGISTRY[case_id] = builder
+        return builder
+
+    return wrap
+
+
+def get_case(case_id: str) -> CaseSpec:
+    """Build the CaseSpec for ``case_id`` (fresh instance)."""
+    try:
+        builder = _REGISTRY[case_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown case {case_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return builder()
+
+def all_case_ids() -> List[str]:
+    """All registered case ids in numeric order (c1..c16)."""
+    return sorted(_REGISTRY, key=lambda c: int(c.lstrip("c")))
+
+
+def all_cases() -> List[CaseSpec]:
+    return [get_case(cid) for cid in all_case_ids()]

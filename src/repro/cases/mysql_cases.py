@@ -1,0 +1,202 @@
+"""MySQL overload cases c1-c5 (Table 2)."""
+
+from __future__ import annotations
+
+from ..apps.base import Operation
+from ..apps.mysql import MySQL, MySQLConfig, light_mix
+from ..core.types import TaskKind
+from ..workloads.spec import MixEntry, OpenLoopSource, PeriodicOp, ScheduledOp, Workload
+from .base import CaseSpec, register_case
+
+
+def _mysql_factory(env, controller, rng):
+    return MySQL(env, controller, rng, config=MySQLConfig())
+
+
+@register_case("c1")
+def build_c1() -> CaseSpec:
+    """Backup query holds write locks while waiting for scans to drain."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=300.0, mix=light_mix(rng))]
+        if include_culprit:
+            for at in (2.0, 3.0, 4.0):
+                sources.append(
+                    ScheduledOp(
+                        at=at,
+                        factory=lambda: Operation(
+                            "scan", {"table": 0, "rows": 1.4e6}
+                        ),
+                        client_id="analytics",
+                    )
+                )
+            sources.append(
+                ScheduledOp(
+                    at=5.0,
+                    factory=lambda: Operation("backup", {}),
+                    client_id="backup",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c1",
+        app_name="mysql",
+        resource_type="Synchronization",
+        resource_detail="Backup lock",
+        trigger=(
+            "A subtle interaction causes backup queries to hold write locks "
+            "for long time."
+        ),
+        culprit_ops={"backup", "scan"},
+        app_factory=_mysql_factory,
+        workload_factory=workload,
+        duration=14.0,
+    )
+
+
+@register_case("c2")
+def build_c2() -> CaseSpec:
+    """Slow queries monopolize the InnoDB admission queue."""
+
+    def workload(app, rng, include_culprit):
+        # Light traffic high enough that slow queries stay under 1% of
+        # requests while their slot demand still exceeds the pool.
+        sources = [OpenLoopSource(rate=400.0, mix=light_mix(rng))]
+        if include_culprit:
+            sources.append(
+                OpenLoopSource(
+                    rate=2.5,
+                    mix=[
+                        MixEntry(
+                            factory=lambda: Operation(
+                                "slow_query", {"duration": 3.0}
+                            ),
+                            weight=1.0,
+                        )
+                    ],
+                    client_id="analytics",
+                    start_time=2.0,
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c2",
+        app_name="mysql",
+        resource_type="Thread pool",
+        resource_detail="InnoDB queue",
+        trigger=(
+            "Slow queries monopolize the InnoDB queue, exceeding its "
+            "concurrency limit."
+        ),
+        culprit_ops={"slow_query"},
+        app_factory=_mysql_factory,
+        workload_factory=workload,
+    )
+
+
+@register_case("c3")
+def build_c3() -> CaseSpec:
+    """Blocked purge task causes contention on the undo log."""
+
+    def workload(app, rng, include_culprit):
+        sources = [
+            OpenLoopSource(rate=250.0, mix=light_mix(rng, select_weight=0.2))
+        ]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "long_transaction", {"duration": 8.0}
+                    ),
+                    client_id="analytics",
+                )
+            )
+            sources.append(
+                PeriodicOp(
+                    period=1.0,
+                    factory=lambda: Operation(
+                        "purge", {}, kind=TaskKind.BACKGROUND
+                    ),
+                    start_time=2.5,
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c3",
+        app_name="mysql",
+        resource_type="Synchronization",
+        resource_detail="Undo log",
+        trigger="Background purge task blocks causes contention on the undo log",
+        culprit_ops={"long_transaction"},
+        app_factory=_mysql_factory,
+        workload_factory=workload,
+        duration=13.0,
+    )
+
+
+@register_case("c4")
+def build_c4() -> CaseSpec:
+    """SELECT FOR UPDATE blocks other clients' insert queries."""
+
+    def workload(app, rng, include_culprit):
+        sources = [
+            OpenLoopSource(rate=250.0, mix=light_mix(rng, select_weight=0.3))
+        ]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "select_for_update", {"table": 0, "rows": 1.5e6}
+                    ),
+                    client_id="batch",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c4",
+        app_name="mysql",
+        resource_type="Synchronization",
+        resource_detail="Table lock",
+        trigger="SELECT FOR UPDATE query blocks other clients' insert query",
+        culprit_ops={"select_for_update"},
+        app_factory=_mysql_factory,
+        workload_factory=workload,
+    )
+
+
+@register_case("c5")
+def build_c5() -> CaseSpec:
+    """Scan/dump query monopolizes the buffer pool."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=300.0, mix=light_mix(rng))]
+        if include_culprit:
+            for at in (2.0, 6.5):
+                sources.append(
+                    ScheduledOp(
+                        at=at,
+                        factory=lambda: Operation("dump", {}),
+                        client_id="dump",
+                    )
+                )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c5",
+        app_name="mysql",
+        resource_type="Memory",
+        resource_detail="Buffer pool",
+        trigger=(
+            "Scan query monopolizes the buffer pool and causes contention "
+            "with other queries"
+        ),
+        culprit_ops={"dump"},
+        app_factory=_mysql_factory,
+        workload_factory=workload,
+    )

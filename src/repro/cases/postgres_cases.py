@@ -1,0 +1,149 @@
+"""PostgreSQL overload cases c6-c8 (Table 2)."""
+
+from __future__ import annotations
+
+from ..apps.base import Operation
+from ..apps.postgres import PostgreSQL, PostgresConfig
+from ..core.types import TaskKind
+from ..workloads.spec import MixEntry, OpenLoopSource, PeriodicOp, ScheduledOp, Workload
+from .base import CaseSpec, register_case
+
+
+def _pg_factory(config=None):
+    def build(env, controller, rng):
+        return PostgreSQL(env, controller, rng, config=config or PostgresConfig())
+
+    return build
+
+
+def pg_mix(rng, tables=4, select_weight=0.7):
+    def make_select():
+        return Operation("select", {"table": rng.randint(0, tables - 1)})
+
+    def make_update():
+        return Operation("update", {"table": rng.randint(0, tables - 1)})
+
+    return [
+        MixEntry(factory=make_select, weight=select_weight),
+        MixEntry(factory=make_update, weight=1.0 - select_weight),
+    ]
+
+
+@register_case("c6")
+def build_c6() -> CaseSpec:
+    """Bulk write bloats a table; readers pay MVCC version-chain costs."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=250.0, mix=pg_mix(rng))]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "bulk_update", {"table": 0, "rows": 2e6}
+                    ),
+                    client_id="batch",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c6",
+        app_name="postgres",
+        resource_type="Synchronization",
+        resource_detail="Table lock",
+        trigger="The write operation slows down the other query due to MVCC",
+        culprit_ops={"bulk_update"},
+        app_factory=_pg_factory(),
+        workload_factory=workload,
+    )
+
+
+@register_case("c7")
+def build_c7() -> CaseSpec:
+    """Background WAL flush group-inserts and blocks other queries."""
+
+    def workload(app, rng, include_culprit):
+        sources = [
+            OpenLoopSource(rate=250.0, mix=pg_mix(rng, select_weight=0.3)),
+            PeriodicOp(
+                period=0.5,
+                factory=lambda: Operation(
+                    "wal_flush", {}, kind=TaskKind.BACKGROUND
+                ),
+                start_time=0.5,
+            ),
+        ]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "bulk_update", {"table": 1, "rows": 1.5e6}
+                    ),
+                    client_id="batch",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c7",
+        app_name="postgres",
+        resource_type="Synchronization",
+        resource_detail="Write ahead log",
+        trigger=(
+            "The background WAL task causes group insertion and blocks "
+            "other queries"
+        ),
+        culprit_ops={"wal_flush", "bulk_update"},
+        app_factory=_pg_factory(),
+        workload_factory=workload,
+        duration=13.0,
+        # Baseline p99 includes routine WAL-flush waits (~19 ms).
+        slo_latency=0.04,
+    )
+
+
+@register_case("c8")
+def build_c8() -> CaseSpec:
+    """Vacuum saturates disk I/O and slows foreground queries."""
+
+    # A single-spindle disk serving half the reads from storage, with the
+    # vacuum issuing large sequential chunks that head-of-line block them.
+    config = PostgresConfig(
+        disk_queue_depth=1,
+        read_io_fraction=0.5,
+        vacuum_chunk_bytes=8e6,
+    )
+
+    def workload(app, rng, include_culprit):
+        sources = [
+            OpenLoopSource(rate=250.0, mix=pg_mix(rng, select_weight=0.85))
+        ]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "vacuum",
+                        {"total_bytes": 600e6},
+                        kind=TaskKind.BACKGROUND,
+                    ),
+                    client_id="autovacuum",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c8",
+        app_name="postgres",
+        resource_type="System",
+        resource_detail="System IO",
+        trigger=(
+            "The vacuum process causes contention on IO and slows down "
+            "other queries"
+        ),
+        culprit_ops={"vacuum"},
+        app_factory=_pg_factory(config),
+        workload_factory=workload,
+    )

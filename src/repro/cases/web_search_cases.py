@@ -1,0 +1,307 @@
+"""Apache, Elasticsearch, Solr, and etcd overload cases c9-c16 (Table 2)."""
+
+from __future__ import annotations
+
+from ..apps.apache import Apache, ApacheConfig
+from ..apps.base import Operation
+from ..apps.elasticsearch import Elasticsearch, ElasticsearchConfig
+from ..apps.etcd import Etcd, EtcdConfig
+from ..apps.solr import Solr, SolrConfig
+from ..workloads.spec import MixEntry, OpenLoopSource, ScheduledOp, Workload
+from .base import CaseSpec, register_case
+
+
+def _factory(cls, config):
+    def build(env, controller, rng):
+        return cls(env, controller, rng, config=config)
+
+    return build
+
+
+def _single_op_mix(name, params=None, cancellable=True):
+    return [
+        MixEntry(
+            factory=lambda: Operation(
+                name, dict(params or {}), cancellable=cancellable
+            ),
+            weight=1.0,
+        )
+    ]
+
+
+@register_case("c9")
+def build_c9() -> CaseSpec:
+    """Slow PHP requests exhaust Apache's worker pool (MaxClients)."""
+
+    def workload(app, rng, include_culprit):
+        sources = [
+            OpenLoopSource(rate=600.0, mix=_single_op_mix("static"))
+        ]
+        if include_culprit:
+            # PHP scripts are only cancellable via the thread-level flag
+            # (§5.2): Apache cannot stop a script once started, so the
+            # case enables pthread_cancel-style cancellation.
+            sources.append(
+                OpenLoopSource(
+                    rate=4.5,
+                    mix=_single_op_mix(
+                        "php_script", {"duration": 4.0}, cancellable=True
+                    ),
+                    client_id="php",
+                    start_time=2.0,
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c9",
+        app_name="apache",
+        resource_type="Thread pool",
+        resource_detail="Thread pool",
+        trigger=(
+            "Slow request blocks other clients' requests when the max "
+            "client limit is reached"
+        ),
+        culprit_ops={"php_script"},
+        app_factory=_factory(Apache, ApacheConfig()),
+        workload_factory=workload,
+        # Apache cannot stop a PHP script through application logic; the
+        # paper enables the system-level cancellation flag for this case.
+        atropos_overrides={"allow_thread_level_cancel": True},
+    )
+
+
+@register_case("c10")
+def build_c10() -> CaseSpec:
+    """A large search floods the Elasticsearch query cache."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=300.0, mix=_single_op_mix("search"))]
+        if include_culprit:
+            for at in (2.0, 6.5):
+                sources.append(
+                    ScheduledOp(
+                        at=at,
+                        factory=lambda: Operation("large_search", {}),
+                        client_id="big-search",
+                    )
+                )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c10",
+        app_name="elasticsearch",
+        resource_type="Memory",
+        resource_detail="Query cache",
+        trigger=(
+            "A large search slows down other queries due to cache contention"
+        ),
+        culprit_ops={"large_search"},
+        app_factory=_factory(
+            Elasticsearch,
+            # Cache-dependent deployment: misses are expensive and each
+            # search touches several cached filters.
+            ElasticsearchConfig(cache_miss_penalty=0.025, entries_per_search=3),
+        ),
+        workload_factory=workload,
+    )
+
+
+@register_case("c11")
+def build_c11() -> CaseSpec:
+    """A nested aggregation exhausts the heap, triggering GC storms."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=250.0, mix=_single_op_mix("search"))]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "nested_aggregation", {"blocks": 1300}
+                    ),
+                    client_id="agg",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c11",
+        app_name="elasticsearch",
+        resource_type="Memory",
+        resource_detail="Buffer memory",
+        trigger=(
+            "The nested aggregation exhausts heap memory causing frequent "
+            "garbage collection"
+        ),
+        culprit_ops={"nested_aggregation"},
+        app_factory=_factory(Elasticsearch, ElasticsearchConfig()),
+        workload_factory=workload,
+    )
+
+
+@register_case("c12")
+def build_c12() -> CaseSpec:
+    """Long-running queries cause CPU contention."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=450.0, mix=_single_op_mix("search"))]
+        if include_culprit:
+            sources.append(
+                OpenLoopSource(
+                    rate=4.0,
+                    mix=_single_op_mix("long_query", {"cpu_seconds": 3.0}),
+                    client_id="analytics",
+                    start_time=2.0,
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c12",
+        app_name="elasticsearch",
+        resource_type="System",
+        resource_detail="CPU",
+        trigger=(
+            "The long running queries cause CPU contention and slow down "
+            "other requests"
+        ),
+        culprit_ops={"long_query"},
+        app_factory=_factory(Elasticsearch, ElasticsearchConfig()),
+        workload_factory=workload,
+    )
+
+
+@register_case("c13")
+def build_c13() -> CaseSpec:
+    """A large update blocks other requests on the document lock."""
+
+    def workload(app, rng, include_culprit):
+        def mixed(rng=rng):
+            return [
+                MixEntry(
+                    factory=lambda: Operation("search", {}), weight=0.6
+                ),
+                MixEntry(
+                    factory=lambda: Operation("indexing", {}), weight=0.4
+                ),
+            ]
+
+        sources = [OpenLoopSource(rate=250.0, mix=mixed())]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "update_by_query", {"duration": 5.0}
+                    ),
+                    client_id="bulk-update",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c13",
+        app_name="elasticsearch",
+        resource_type="Synchronization",
+        resource_detail="Document lock",
+        trigger="A large update blocks other requests",
+        culprit_ops={"update_by_query"},
+        app_factory=_factory(Elasticsearch, ElasticsearchConfig()),
+        workload_factory=workload,
+    )
+
+
+@register_case("c14")
+def build_c14() -> CaseSpec:
+    """A complex boolean request holds Solr's index lock."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=300.0, mix=_single_op_mix("query"))]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(
+                        "boolean_query", {"duration": 5.0}
+                    ),
+                    client_id="complex",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c14",
+        app_name="solr",
+        resource_type="Synchronization",
+        resource_detail="Index lock",
+        trigger="Complex boolean request slows down other requests",
+        culprit_ops={"boolean_query"},
+        app_factory=_factory(Solr, SolrConfig()),
+        workload_factory=workload,
+    )
+
+
+@register_case("c15")
+def build_c15() -> CaseSpec:
+    """Nested range queries occupy Solr's searcher thread pool."""
+
+    def workload(app, rng, include_culprit):
+        sources = [OpenLoopSource(rate=450.0, mix=_single_op_mix("query"))]
+        if include_culprit:
+            sources.append(
+                OpenLoopSource(
+                    rate=3.5,
+                    mix=_single_op_mix("range_query", {"duration": 3.0}),
+                    client_id="range",
+                    start_time=2.0,
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c15",
+        app_name="solr",
+        resource_type="Thread pool",
+        resource_detail="Solr queue",
+        trigger="Nested range queries occupy thread pool and block other requests",
+        culprit_ops={"range_query"},
+        app_factory=_factory(Solr, SolrConfig()),
+        workload_factory=workload,
+    )
+
+
+@register_case("c16")
+def build_c16() -> CaseSpec:
+    """A complex read query blocks other etcd queries."""
+
+    def workload(app, rng, include_culprit):
+        def mixed(rng=rng):
+            return [
+                MixEntry(factory=lambda: Operation("get", {}), weight=0.75),
+                MixEntry(factory=lambda: Operation("put", {}), weight=0.25),
+            ]
+
+        sources = [OpenLoopSource(rate=250.0, mix=mixed())]
+        if include_culprit:
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation("range_read", {"duration": 5.0}),
+                    client_id="range",
+                )
+            )
+        return Workload(sources)
+
+    return CaseSpec(
+        case_id="c16",
+        app_name="etcd",
+        resource_type="Synchronization",
+        resource_detail="Key-value lock",
+        trigger="Complex read query blocks other queries",
+        culprit_ops={"range_read"},
+        app_factory=_factory(Etcd, EtcdConfig()),
+        workload_factory=workload,
+        # Baseline p99 includes routine writer-convoy waits (~13 ms).
+        slo_latency=0.03,
+    )

@@ -1,0 +1,93 @@
+"""ATROPOS core: targeted task cancellation for resource overload.
+
+Public API (mirrors the paper's Figure 6 integration surface):
+
+* task lifecycle -- ``controller.create_cancel`` / ``free_cancel`` /
+  ``set_cancel_action``;
+* resource tracing -- ``controller.get_resource`` / ``free_resource`` /
+  ``slow_by_resource`` with a :class:`ResourceType`;
+* the :class:`Atropos` controller itself, plus the policy ablations and
+  the :class:`NullController` used as the uncontrolled baseline.
+"""
+
+from .atropos import Atropos
+from .cancellation import CancellationEvent, CancellationManager
+from .config import AtroposConfig
+from .controller import BaseController, NullController
+from .decision_log import DecisionEvent, DecisionKind, DecisionLog
+from .detector import DetectionSample, OverloadDetector
+from .estimator import (
+    Estimator,
+    OverloadAssessment,
+    ResourceReport,
+    TaskReport,
+)
+from .ledger import UsageLedger, UsageStats
+from .policy import (
+    CancellationPolicy,
+    CurrentUsagePolicy,
+    GreedyHeuristicPolicy,
+    MultiObjectivePolicy,
+    dominates,
+    non_dominated_set,
+)
+from .progress import (
+    CallbackProgress,
+    GetNextProgress,
+    ProgressModel,
+    TimeBasedProgress,
+    UnknownProgress,
+    clamp_progress,
+    future_gain_multiplier,
+)
+from .runtime import RuntimeManager
+from .task import CancellableTask, TaskState, default_initiator
+from .types import (
+    CancelSignal,
+    DropRequest,
+    ResourceHandle,
+    ResourceType,
+    TaskKind,
+)
+
+__all__ = [
+    "Atropos",
+    "AtroposConfig",
+    "BaseController",
+    "CallbackProgress",
+    "CancelSignal",
+    "CancellableTask",
+    "CancellationEvent",
+    "CancellationManager",
+    "CancellationPolicy",
+    "CurrentUsagePolicy",
+    "DecisionEvent",
+    "DecisionKind",
+    "DecisionLog",
+    "DetectionSample",
+    "DropRequest",
+    "Estimator",
+    "GetNextProgress",
+    "GreedyHeuristicPolicy",
+    "MultiObjectivePolicy",
+    "NullController",
+    "OverloadAssessment",
+    "OverloadDetector",
+    "ProgressModel",
+    "ResourceHandle",
+    "ResourceReport",
+    "ResourceType",
+    "RuntimeManager",
+    "TaskKind",
+    "TaskReport",
+    "TaskState",
+    "TimeBasedProgress",
+    "UnknownProgress",
+    "UsageLedger",
+    "UsageStats",
+    "clamp_progress",
+    "default_initiator",
+    "dominates",
+    "future_gain_multiplier",
+    "non_dominated_set",
+]

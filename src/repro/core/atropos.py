@@ -1,0 +1,282 @@
+"""The ATROPOS overload controller (paper §3, Figure 5).
+
+Wires together the runtime manager (per-task usage tracking), overload
+detector, estimator, policy engine, and cancellation manager behind the
+shared :class:`~repro.core.controller.BaseController` interface that
+applications are instrumented against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .cancellation import CancellationManager
+from .config import AtroposConfig
+from .controller import BaseController
+from .decision_log import DecisionKind, DecisionLog
+from .detector import OverloadDetector
+from .estimator import Estimator, OverloadAssessment
+from .policy import CancellationPolicy, MultiObjectivePolicy
+from .runtime import RuntimeManager
+from .task import CancellableTask, CancelInitiator
+from .types import ResourceHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+
+class Atropos(BaseController):
+    """Targeted-task-cancellation overload controller."""
+
+    name = "atropos"
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: Optional[AtroposConfig] = None,
+        policy: Optional[CancellationPolicy] = None,
+        fallback: Optional[BaseController] = None,
+    ) -> None:
+        """
+        Args:
+            fallback: conventional overload controller consulted when a
+                slowdown is classified as *regular* (pure demand) overload
+                rather than resource overload (§3.3: "ATROPOS invokes
+                other overload control mechanisms in place to handle it").
+                Typically a :class:`~repro.baselines.Seda`-style admission
+                controller.  When None, regular overload is only counted.
+        """
+        super().__init__(env)
+        self.config = config or AtroposConfig()
+        self.runtime = RuntimeManager(env, self.config)
+        self.detector = OverloadDetector(env, self.config)
+        self.estimator = Estimator(env, self.runtime, self.config)
+        self.policy = policy or MultiObjectivePolicy(
+            min_age=self.config.min_cancel_age
+        )
+        self.cancellation = CancellationManager(
+            env, self.config, calm_check=self._is_calm
+        )
+        self.fallback = fallback
+        #: Explainable timeline of detections/classifications/cancels.
+        self.decision_log = DecisionLog()
+        #: Count of detector activations classified as regular overload.
+        self.regular_overloads = 0
+        #: Most recent assessment (exposed for experiments/diagnostics).
+        self.last_assessment: Optional[OverloadAssessment] = None
+        self._started = False
+        #: True while the current detection window is classified as
+        #: regular (demand) overload; routes admission to the fallback.
+        self._regular_overload_active = False
+
+    # ------------------------------------------------------------------
+    # BaseController overrides: task lifecycle
+    # ------------------------------------------------------------------
+    def create_cancel(self, *args, **kwargs) -> CancellableTask:
+        task = super().create_cancel(*args, **kwargs)
+        self.runtime.task_started(task)
+        return task
+
+    def free_cancel(self, task: CancellableTask) -> None:
+        if id(task) in self.tasks:
+            self.runtime.task_finished(task)
+        super().free_cancel(task)
+
+    def set_cancel_action(self, initiator: CancelInitiator) -> None:
+        super().set_cancel_action(initiator)
+        self.cancellation.set_initiator(initiator)
+
+    # ------------------------------------------------------------------
+    # BaseController overrides: tracing
+    # ------------------------------------------------------------------
+    def get_resource(
+        self, task: CancellableTask, resource: ResourceHandle, amount: float = 1.0
+    ) -> None:
+        self.runtime.record_get(task, resource, amount)
+
+    def free_resource(
+        self, task: CancellableTask, resource: ResourceHandle, amount: float = 1.0
+    ) -> None:
+        self.runtime.record_free(task, resource, amount)
+
+    def slow_by_resource(
+        self,
+        task: CancellableTask,
+        resource: ResourceHandle,
+        delay: float,
+        events: float = 1.0,
+    ) -> None:
+        self.runtime.record_slow_by(task, resource, delay, events)
+
+    def begin_wait(
+        self, task: CancellableTask, resource: ResourceHandle
+    ) -> None:
+        self.runtime.record_wait_start(task, resource)
+
+    def end_wait(
+        self, task: CancellableTask, resource: ResourceHandle
+    ) -> float:
+        return self.runtime.record_wait_end(task, resource)
+
+    def tracing_cost(self, n_events: int = 1) -> float:
+        return n_events * self.runtime.event_cost()
+
+    # ------------------------------------------------------------------
+    # Feedback + monitor loop
+    # ------------------------------------------------------------------
+    def admit(self, op_name: str, client_id: str) -> bool:
+        """ATROPOS does no admission control itself; during *regular*
+        overload episodes the fallback controller's admission applies."""
+        if self.fallback is not None and self._regular_overload_active:
+            return self.fallback.admit(op_name, client_id)
+        return True
+
+    def observe_completion(self, record: "RequestRecord") -> None:
+        self.detector.observe_completion(record)
+        if self.fallback is not None:
+            self.fallback.observe_completion(record)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.fallback is not None:
+            self.fallback.start()
+        self.env.process(self._monitor_loop())
+
+    def _monitor_loop(self):
+        """Periodic detect -> estimate -> decide -> cancel loop."""
+        cfg = self.config
+        while True:
+            yield self.env.timeout(cfg.detection_period)
+            potential_overload = self.detector.check(
+                oldest_inflight_age=self._oldest_request_age()
+            )
+            # Two-mode tracing: fine-grained while overload is suspected.
+            self.runtime.set_fine_mode(potential_overload)
+            if potential_overload:
+                self._handle_potential_overload()
+            else:
+                self._regular_overload_active = False
+            self.runtime.roll_window()
+
+    def _handle_potential_overload(self) -> None:
+        now = self.env.now
+        sample = self.detector.history[-1] if self.detector.history else None
+        self.decision_log.record(
+            now,
+            DecisionKind.DETECTION,
+            "potential overload",
+            tail_p99=round(sample.tail_latency, 4) if sample else None,
+            throughput=round(sample.throughput, 1) if sample else None,
+        )
+        assessment = self.estimator.assess(
+            resources=list(self.resources.values()),
+            tasks=self.live_tasks(),
+            use_future_gain=self.policy.uses_future_gain,
+        )
+        self.last_assessment = assessment
+        hottest = assessment.most_contended()
+        if not assessment.is_resource_overload:
+            # Regular (demand) overload: out of scope for cancellation;
+            # delegated to the conventional fallback controller (§3.3).
+            self.regular_overloads += 1
+            self._regular_overload_active = True
+            self.decision_log.record(
+                now,
+                DecisionKind.CLASSIFICATION,
+                "regular (demand) overload -> fallback",
+                hottest=str(hottest.resource) if hottest else None,
+                contention=round(hottest.contention_norm, 3)
+                if hottest
+                else None,
+            )
+            return
+        self._regular_overload_active = False
+        culprit_resource = next(
+            (r for r in assessment.resources if r.overloaded and r.concentrated),
+            hottest,
+        )
+        self.decision_log.record(
+            now,
+            DecisionKind.CLASSIFICATION,
+            "resource overload",
+            resource=str(culprit_resource.resource),
+            contention=round(culprit_resource.contention_norm, 3),
+            gain_skew=round(culprit_resource.gain_skew, 1)
+            if culprit_resource.gain_skew != float("inf")
+            else "inf",
+        )
+        selection = self.policy.select(assessment)
+        if selection is None:
+            self.decision_log.record(
+                now, DecisionKind.CANCEL_BLOCKED, "no cancellable candidate"
+            )
+            return
+        task, score = selection
+        cancelled = self.cancellation.cancel(
+            task,
+            resource=hottest.resource if hottest else None,
+            score=score,
+        )
+        if cancelled:
+            self.cancels_issued += 1
+            self.decision_log.record(
+                now,
+                DecisionKind.CANCELLATION,
+                f"cancelled {task.op_name!r}",
+                key=task.key,
+                score=round(score, 2),
+                progress=round(task.progress(), 2),
+            )
+        else:
+            self.decision_log.record(
+                now,
+                DecisionKind.CANCEL_BLOCKED,
+                f"cancel of {task.op_name!r} blocked",
+                in_cooldown=self.cancellation.in_cooldown,
+            )
+
+    # ------------------------------------------------------------------
+    # Re-execution
+    # ------------------------------------------------------------------
+    def reexecution_gate(self, task: CancellableTask, arrival_time: float):
+        decision = yield from self.cancellation.reexecution_gate(
+            task, arrival_time
+        )
+        self.decision_log.record(
+            self.env.now,
+            DecisionKind.REEXECUTION,
+            f"{task.op_name!r} -> {decision}",
+            key=task.key,
+            waited=round(self.env.now - arrival_time, 3),
+        )
+        return decision
+
+    def explain(self, limit: Optional[int] = None) -> str:
+        """Render the decision timeline (operator-facing)."""
+        return self.decision_log.render(limit=limit)
+
+    def _oldest_request_age(self) -> float:
+        """Age of the oldest live *user request* task (head-of-line signal).
+
+        Background tasks are excluded: they have no SLO and may legally
+        run for a long time.
+        """
+        from .types import TaskKind
+
+        ages = [
+            t.age
+            for t in self.tasks.values()
+            if t.alive and t.kind is TaskKind.REQUEST
+        ]
+        return max(ages, default=0.0)
+
+    def _is_calm(self) -> bool:
+        """No application resource currently over its contention threshold."""
+        for resource in self.resources.values():
+            norm = self.estimator.contention_norm(resource)
+            if norm >= self.config.threshold_for(resource.name):
+                return False
+        return True

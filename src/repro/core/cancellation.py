@@ -1,0 +1,168 @@
+"""Cancellation execution, cooldown, fairness, re-execution (§3.6, §4).
+
+The manager invokes the application's registered cancellation initiator
+(or the default process interrupt), enforces a minimum interval between
+consecutive cancellations, and implements the fairness rules: each task is
+cancelled at most once, cancelled requests are retried after sustained
+resource availability (or dropped once they can no longer meet the SLO),
+and background tasks are force-retried after a bounded wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from .config import AtroposConfig
+from .task import CancelInitiator, CancellableTask, default_initiator
+from .types import CancelSignal, ResourceHandle, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+@dataclass
+class CancellationEvent:
+    """Audit record of one executed cancellation."""
+
+    time: float
+    task_key: object
+    op_name: str
+    resource: Optional[ResourceHandle]
+    score: float
+
+
+class CancellationManager:
+    """Executes cancel decisions and gates re-execution."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: AtroposConfig,
+        calm_check: Callable[[], bool],
+    ) -> None:
+        """
+        Args:
+            calm_check: callable returning True when no application
+                resource is currently overloaded (sustained availability
+                is judged by polling this).
+        """
+        self.env = env
+        self.config = config
+        self._calm_check = calm_check
+        self._initiator: CancelInitiator = default_initiator
+        self._last_cancel_time: Optional[float] = None
+        self.log: List[CancellationEvent] = []
+
+    # ------------------------------------------------------------------
+    # Initiator registration (setCancelAction)
+    # ------------------------------------------------------------------
+    def set_initiator(self, initiator: CancelInitiator) -> None:
+        self._initiator = initiator
+
+    # ------------------------------------------------------------------
+    # Cooldown
+    # ------------------------------------------------------------------
+    @property
+    def in_cooldown(self) -> bool:
+        if self._last_cancel_time is None:
+            return False
+        return (
+            self.env.now - self._last_cancel_time < self.config.cancel_cooldown
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def cancel(
+        self,
+        task: CancellableTask,
+        resource: Optional[ResourceHandle],
+        score: float,
+        reason: str = "resource-overload",
+    ) -> bool:
+        """Cancel ``task``; returns False if blocked by cooldown/state."""
+        if not self.config.cancellation_enabled:
+            return False
+        if self.in_cooldown:
+            return False
+        if not task.cancellable:
+            return False
+        if task.metadata.get("requires_thread_cancel") and not (
+            self.config.allow_thread_level_cancel
+        ):
+            # The task has no application-level initiator; thread-level
+            # cancellation is unsafe and disabled by default (§3.6).
+            return False
+        signal = CancelSignal(
+            reason=reason,
+            resource=resource,
+            score=score,
+            decided_at=self.env.now,
+        )
+        task.begin_cancel(signal)
+        self._last_cancel_time = self.env.now
+        self.log.append(
+            CancellationEvent(
+                time=self.env.now,
+                task_key=task.key,
+                op_name=task.op_name,
+                resource=resource,
+                score=score,
+            )
+        )
+        self._initiator(task, signal)
+        return True
+
+    # ------------------------------------------------------------------
+    # Re-execution gate (generator; driven by the workload driver)
+    # ------------------------------------------------------------------
+    def reexecution_gate(self, task: CancellableTask, arrival_time: float):
+        """Wait for sustained availability; decide retry vs drop.
+
+        Yields simulation events; returns ``"retry"`` or ``"drop"``.
+        """
+        env = self.env
+        cfg = self.config
+        if task.kind is TaskKind.BACKGROUND:
+            # Minimum deferral first: a cancelled maintenance task must not
+            # re-enter the instant its own absence makes the system calm.
+            yield env.timeout(cfg.background_reexec_delay)
+            deadline = env.now + cfg.background_max_wait
+            while env.now < deadline:
+                if self._stable_now():
+                    stable = yield from self._await_stability(deadline)
+                    if stable:
+                        return "retry"
+                else:
+                    yield env.timeout(cfg.reexec_check_period)
+            # Bounded wait expired: background tasks are always retried.
+            return "retry"
+
+        # User request: bounded by the SLO budget.
+        budget_end = arrival_time + cfg.slo_latency * cfg.reexec_slo_multiple
+        while env.now < budget_end:
+            if self._stable_now():
+                stable = yield from self._await_stability(budget_end)
+                if stable:
+                    return "retry"
+            else:
+                yield env.timeout(cfg.reexec_check_period)
+        return "drop"
+
+    def _stable_now(self) -> bool:
+        return self._calm_check()
+
+    def _await_stability(self, deadline: float):
+        """Hold calm for the stability window; returns True if it held."""
+        env = self.env
+        window_end = env.now + self.config.reexec_stability_window
+        while env.now < window_end:
+            if env.now >= deadline:
+                return False
+            yield env.timeout(
+                min(self.config.reexec_check_period, window_end - env.now)
+            )
+            if not self._calm_check():
+                return False
+        return True

@@ -1,0 +1,106 @@
+"""Configuration for the ATROPOS controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AtroposConfig:
+    """Tunables for detection, estimation, policy, and cancellation.
+
+    Defaults follow the paper's described behaviour: detection piggybacks
+    on a Breakwater-style latency/throughput monitor (§3.3), cancellations
+    are rate-limited by a small cooldown (§5.3), re-execution waits for
+    sustained resource availability (§4), and tracing runs in a cheap
+    coarse mode until overload is suspected (§3.2).
+    """
+
+    #: Latency SLO for requests, in seconds.  Detection triggers when the
+    #: windowed p99 exceeds ``slo_latency * slo_slack``.
+    slo_latency: float = 0.1
+    #: Multiplicative tolerance on the SLO before reacting (a 20% latency
+    #: increase tolerance is the paper's default in §5.3).
+    slo_slack: float = 1.2
+    #: Period of the overload-detection loop, seconds.
+    detection_period: float = 0.05
+    #: Horizon of the completion window the detector inspects, seconds.
+    detection_window: float = 1.0
+    #: Latency percentile the detector watches.
+    latency_percentile: float = 99.0
+    #: Throughput growth (fractional) below which throughput is "flat".
+    flat_throughput_margin: float = 0.10
+    #: Minimum completions in a window before latency stats are trusted.
+    min_window_samples: int = 10
+
+    #: Normalized contention level above which a resource counts as
+    #: overloaded (fraction of execution time lost to the resource).
+    contention_threshold: float = 0.25
+    #: Minimum task age before it may be cancelled, seconds (don't shoot
+    #: a request that just started).
+    min_cancel_age: float = 0.01
+    #: Resource overload additionally requires a *concentrated* culprit.
+    #: For time-typed resources (lock/queue/CPU), a task qualifies when
+    #: its expected future hold alone exceeds ``culprit_gain_slo_multiple
+    #: * slo_latency`` -- a single request planning to keep the resource
+    #: longer than the whole latency budget is a monopolist by
+    #: definition.  Uniform sub-SLO gains mean the slowdown is aggregate
+    #: demand (regular overload, §3.3), where cancelling any one request
+    #: would be indiscriminate victim dropping.
+    culprit_gain_slo_multiple: float = 1.5
+    #: For quantity-typed resources (memory pages / IO bytes), gains are
+    #: not SLO-comparable; concentration uses the max/median skew of
+    #: positive gains instead.
+    gain_skew_threshold: float = 8.0
+
+    #: Minimum interval between consecutive cancellations, seconds (§5.3:
+    #: the aggressiveness/recovery trade-off behind cases c3 and c12).
+    cancel_cooldown: float = 0.05
+
+    #: Re-execution: resource availability must hold this long before a
+    #: cancelled request is retried.
+    reexec_stability_window: float = 0.5
+    #: Re-execution: polling period while waiting for availability.
+    reexec_check_period: float = 0.1
+    #: A cancelled request is dropped once its total sojourn exceeds
+    #: ``slo_latency * reexec_slo_multiple`` (it can no longer meet its
+    #: SLO, §4).
+    reexec_slo_multiple: float = 10.0
+    #: Minimum deferral before a cancelled background task is reconsidered
+    #: for re-execution, seconds.  Mirrors real systems' retry naptimes
+    #: (e.g. autovacuum_naptime): a cancelled maintenance task should not
+    #: re-enter the moment its own absence makes the system look calm.
+    background_reexec_delay: float = 10.0
+    #: Background tasks have no SLO; after the deferral they are
+    #: force-retried once they have waited at most this much longer.
+    background_max_wait: float = 30.0
+
+    #: Simulated cost of one traced event in coarse (sampled-timestamp)
+    #: mode, seconds.  Models the rdtsc-amortization of §3.2; sized so a
+    #: handful of traced events per request costs well under 1% of a
+    #: millisecond-scale operation (the paper's 0.59% average).
+    coarse_trace_cost: float = 4e-6
+    #: Simulated cost of one traced event in fine (per-event timestamp)
+    #: mode, seconds (the paper's ~7% average under overload).
+    fine_trace_cost: float = 5e-5
+    #: Timestamp sampling interval in coarse mode, seconds.
+    timestamp_sample_interval: float = 0.01
+
+    #: Enable the opt-in thread-level (unsafe) cancellation fallback for
+    #: tasks with no application initiator (§3.6; used for Apache/PHP).
+    allow_thread_level_cancel: bool = False
+
+    #: Disable cancellation actions entirely (used by the Fig 14 overhead
+    #: experiment, which measures tracing + decision cost in isolation).
+    cancellation_enabled: bool = True
+
+    #: Per-resource overrides of the contention threshold.
+    contention_threshold_overrides: Dict[str, float] = field(
+        default_factory=dict
+    )
+
+    def threshold_for(self, resource_name: str) -> float:
+        return self.contention_threshold_overrides.get(
+            resource_name, self.contention_threshold
+        )

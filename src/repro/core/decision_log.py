@@ -1,0 +1,110 @@
+"""Structured decision log: what ATROPOS observed, decided, and did.
+
+Every detector activation, overload classification, cancellation, and
+re-execution outcome is recorded as a typed event, giving operators an
+explainable timeline ("why did my query get killed at 12:01:03?") --
+table stakes for an overload controller anyone would deploy.
+
+Enabled by default (events are tiny); render with
+:meth:`DecisionLog.render` or query with :meth:`DecisionLog.events_of`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class DecisionKind(enum.Enum):
+    #: The detector flagged a potential overload (tail or head-of-line).
+    DETECTION = "detection"
+    #: The estimator classified it: resource overload vs regular demand.
+    CLASSIFICATION = "classification"
+    #: A cancellation was issued to a culprit task.
+    CANCELLATION = "cancellation"
+    #: A cancellation was considered but blocked (cooldown, no candidate,
+    #: thread-level flag, ...).
+    CANCEL_BLOCKED = "cancel-blocked"
+    #: A cancelled request's re-execution gate resolved (retry/drop).
+    REEXECUTION = "reexecution"
+
+
+@dataclass
+class DecisionEvent:
+    """One entry in the decision timeline."""
+
+    time: float
+    kind: DecisionKind
+    summary: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = ""
+        if self.details:
+            pairs = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.details.items())
+            )
+            extras = f"  [{pairs}]"
+        return f"t={self.time:8.3f}s  {self.kind.value:<14}  {self.summary}{extras}"
+
+
+class DecisionLog:
+    """Bounded in-memory decision timeline."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: List[DecisionEvent] = []
+        #: Events dropped once capacity was reached (oldest first).
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        kind: DecisionKind,
+        summary: str,
+        **details: Any,
+    ) -> DecisionEvent:
+        event = DecisionEvent(
+            time=time, kind=kind, summary=summary, details=details
+        )
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        return event
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[DecisionEvent]:
+        return list(self._events)
+
+    def events_of(self, kind: DecisionKind) -> List[DecisionEvent]:
+        return [e for e in self._events if e.kind is kind]
+
+    def between(self, start: float, end: float) -> List[DecisionEvent]:
+        return [e for e in self._events if start <= e.time < end]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(
+        self,
+        kinds: Optional[List[DecisionKind]] = None,
+        limit: Optional[int] = None,
+    ) -> str:
+        """Human-readable timeline (optionally filtered / truncated)."""
+        events = self._events
+        if kinds is not None:
+            wanted = set(kinds)
+            events = [e for e in events if e.kind in wanted]
+        if limit is not None:
+            events = events[-limit:]
+        lines = [e.render() for e in events]
+        if self.dropped:
+            lines.insert(0, f"... ({self.dropped} earlier events dropped)")
+        return "\n".join(lines) if lines else "(no decisions recorded)"

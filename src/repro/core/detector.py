@@ -1,0 +1,117 @@
+"""Overload detection (paper §3.3).
+
+The detector follows the Breakwater-style signal: it periodically inspects
+recent end-to-end completions; when tail latency exceeds the SLO while
+throughput stays flat, it flags *potential* overload.  The estimator then
+decides whether a specific application resource is the bottleneck
+(resource overload -> cancellation) or not (regular overload -> delegate).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Optional, Tuple
+
+from .config import AtroposConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+from ..sim.metrics import SlidingWindow
+
+
+@dataclass
+class DetectionSample:
+    """One detector observation."""
+
+    time: float
+    throughput: float
+    tail_latency: float
+    samples: int
+    overloaded: bool
+
+
+class OverloadDetector:
+    """Latency-over-SLO + flat-throughput detector."""
+
+    def __init__(self, env: "Environment", config: AtroposConfig) -> None:
+        self.env = env
+        self.config = config
+        self.window = SlidingWindow(horizon=config.detection_window)
+        #: (time, throughput) samples for growth comparison over the full
+        #: detection window -- adjacent-period comparison is too noisy and
+        #: reads a flushing backlog as "growing" traffic.
+        self._throughput_history: Deque[Tuple[float, float]] = deque()
+        self.history: list[DetectionSample] = []
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def observe_completion(self, record: "RequestRecord") -> None:
+        if record.completed:
+            self.window.observe(record.finish_time, record.latency)
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def latency_limit(self) -> float:
+        return self.config.slo_latency * self.config.slo_slack
+
+    def _reference_throughput(self, now: float) -> Optional[float]:
+        """Throughput observed roughly a detection window ago."""
+        if not self._throughput_history:
+            return None
+        return self._throughput_history[0][1]
+
+    def check(self, oldest_inflight_age: float = 0.0) -> bool:
+        """Evaluate the overload condition now; records a sample.
+
+        Args:
+            oldest_inflight_age: age of the oldest still-executing request.
+                This head-of-line signal makes a *complete stall* visible:
+                when victims never finish, the completion window only holds
+                fast unaffected requests and tail latency alone looks
+                healthy.
+        """
+        now = self.env.now
+        cfg = self.config
+        throughput = self.window.throughput(now)
+        samples = self.window.count(now)
+        tail = self.window.latency_percentile(now, cfg.latency_percentile)
+
+        tail_violated = (
+            samples >= cfg.min_window_samples
+            and not math.isnan(tail)
+            and tail > self.latency_limit()
+        )
+        hol_violated = oldest_inflight_age > self.latency_limit()
+        overloaded = False
+        if tail_violated or hol_violated:
+            reference = self._reference_throughput(now)
+            if reference is None or reference <= 0:
+                # No growth baseline: a latency violation alone counts.
+                throughput_flat = True
+            else:
+                growth = (throughput - reference) / reference
+                throughput_flat = growth < cfg.flat_throughput_margin
+            overloaded = throughput_flat
+        self._throughput_history.append((now, throughput))
+        cutoff = now - cfg.detection_window
+        while (
+            len(self._throughput_history) > 1
+            and self._throughput_history[0][0] < cutoff
+        ):
+            self._throughput_history.popleft()
+        self.history.append(
+            DetectionSample(
+                time=now,
+                throughput=throughput,
+                tail_latency=tail,
+                samples=samples,
+                overloaded=overloaded,
+            )
+        )
+        return overloaded

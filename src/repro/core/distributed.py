@@ -1,0 +1,169 @@
+"""Distributed task trees and cancellation propagation.
+
+The paper scopes ATROPOS to single-node applications but sketches the
+extension (§4): "the task manager could associate child tasks with their
+root request and propagate cancellation signals", with failure handling
+(crashes, timeouts, partitions) left as future work.  This module
+implements that sketch on the simulation substrate:
+
+* a :class:`TaskTree` associates child tasks (fan-out work on other
+  simulated nodes) with their root request;
+* cancelling the root propagates the signal to every live descendant,
+  in registration order, with a configurable per-hop delay (network
+  latency);
+* propagation is *best-effort per the paper's model*: children on
+  partitioned/crashed nodes miss the signal, and the tree reports which
+  deliveries failed so callers can retry or escalate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from .task import CancellableTask, default_initiator
+from .types import CancelSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+@dataclass
+class Delivery:
+    """Outcome of one propagated cancellation."""
+
+    task: CancellableTask
+    node: str
+    delivered: bool
+    at: float
+    reason: str = ""
+
+
+class Node:
+    """A named remote node that may be partitioned or crashed."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reachable = True
+
+    def partition(self) -> None:
+        self.reachable = False
+
+    def heal(self) -> None:
+        self.reachable = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.reachable else "partitioned"
+        return f"<Node {self.name} {state}>"
+
+
+class TaskTree:
+    """Root request with children fanned out across nodes."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        root: CancellableTask,
+        propagation_delay: float = 0.002,
+    ) -> None:
+        self.env = env
+        self.root = root
+        self.propagation_delay = propagation_delay
+        #: child task -> node it runs on.
+        self._children: Dict[int, tuple] = {}
+        self.deliveries: List[Delivery] = []
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def add_child(self, task: CancellableTask, node: Node) -> None:
+        """Associate a child task (running on ``node``) with the root."""
+        if task is self.root:
+            raise ValueError("the root cannot be its own child")
+        self._children[id(task)] = (task, node)
+        task.metadata["root_key"] = self.root.key
+
+    def remove_child(self, task: CancellableTask) -> None:
+        self._children.pop(id(task), None)
+
+    @property
+    def children(self) -> List[CancellableTask]:
+        return [task for task, _ in self._children.values()]
+
+    def live_children(self) -> List[CancellableTask]:
+        return [t for t in self.children if t.alive]
+
+    # ------------------------------------------------------------------
+    # Cancellation propagation
+    # ------------------------------------------------------------------
+    def cancel_all(self, signal: Optional[CancelSignal] = None):
+        """Process generator: cancel the root and propagate to children.
+
+        Returns the list of :class:`Delivery` outcomes.  Children on
+        unreachable nodes are recorded as undelivered -- the caller
+        decides whether to retry (see :meth:`retry_undelivered`).
+        """
+        signal = signal or CancelSignal(
+            reason="distributed-cancel", decided_at=self.env.now
+        )
+        if self.root.cancellable:
+            self.root.begin_cancel(signal)
+            if self.env.active_process is not self.root.process:
+                default_initiator(self.root, signal)
+            # else: the root itself initiated the abort (client disconnect
+            # handled inline); it unwinds on its own after propagation.
+        for task, node in list(self._children.values()):
+            yield self.env.timeout(self.propagation_delay)
+            delivery = self._deliver(task, node, signal)
+            self.deliveries.append(delivery)
+        return self.deliveries
+
+    def _deliver(
+        self, task: CancellableTask, node: Node, signal: CancelSignal
+    ) -> Delivery:
+        now = self.env.now
+        if not node.reachable:
+            return Delivery(
+                task=task, node=node.name, delivered=False, at=now,
+                reason="node-unreachable",
+            )
+        if not task.alive:
+            return Delivery(
+                task=task, node=node.name, delivered=True, at=now,
+                reason="already-finished",
+            )
+        if task.state.value == "running" and task.cancel_count == 0:
+            task.begin_cancel(signal)
+            default_initiator(task, signal)
+            return Delivery(task=task, node=node.name, delivered=True, at=now)
+        return Delivery(
+            task=task, node=node.name, delivered=False, at=now,
+            reason="not-cancellable",
+        )
+
+    def undelivered(self) -> List[Delivery]:
+        """Deliveries that failed and whose task is still alive."""
+        return [
+            d for d in self.deliveries if not d.delivered and d.task.alive
+        ]
+
+    def retry_undelivered(self, signal: Optional[CancelSignal] = None):
+        """Process generator: re-attempt failed deliveries (healed nodes)."""
+        signal = signal or CancelSignal(
+            reason="distributed-cancel-retry", decided_at=self.env.now
+        )
+        retried: List[Delivery] = []
+        for stale in self.undelivered():
+            entry = self._children.get(id(stale.task))
+            if entry is None:
+                continue
+            task, node = entry
+            yield self.env.timeout(self.propagation_delay)
+            delivery = self._deliver(task, node, signal)
+            self.deliveries.append(delivery)
+            retried.append(delivery)
+        return retried
+
+    def fully_cancelled(self) -> bool:
+        """True once the root and every child have unwound."""
+        return not self.root.alive and not self.live_children()

@@ -1,0 +1,267 @@
+"""Per-task, per-resource usage accounting (paper §3.2).
+
+The runtime manager records every ``get`` / ``free`` / ``slow-by`` event
+into this ledger.  Counters are kept twice: cumulative since task start,
+and per detection window (the estimator consumes window deltas so that
+contention reflects *current* behaviour, not history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .types import ResourceHandle
+
+
+@dataclass
+class UsageStats:
+    """Raw counters for one (task, resource) or one resource aggregate."""
+
+    #: Units acquired (pages for MEMORY, grants for LOCK/QUEUE, seconds
+    #: for CPU, bytes for IO).
+    acquired: float = 0.0
+    #: Units released.
+    released: float = 0.0
+    #: Seconds of delay attributed to this resource (lock wait, queue
+    #: wait, eviction stall, run-queue wait, device queueing).
+    wait_time: float = 0.0
+    #: Number of slow-by events (evictions for MEMORY).
+    wait_events: float = 0.0
+    #: Seconds the resource was held, over completed hold intervals.
+    hold_time: float = 0.0
+
+    @property
+    def held(self) -> float:
+        """Units currently held (never negative even with noisy tracing)."""
+        return max(0.0, self.acquired - self.released)
+
+    def add(self, other: "UsageStats") -> None:
+        self.acquired += other.acquired
+        self.released += other.released
+        self.wait_time += other.wait_time
+        self.wait_events += other.wait_events
+        self.hold_time += other.hold_time
+
+    def copy(self) -> "UsageStats":
+        return UsageStats(
+            acquired=self.acquired,
+            released=self.released,
+            wait_time=self.wait_time,
+            wait_events=self.wait_events,
+            hold_time=self.hold_time,
+        )
+
+    def reset(self) -> None:
+        self.acquired = 0.0
+        self.released = 0.0
+        self.wait_time = 0.0
+        self.wait_events = 0.0
+        self.hold_time = 0.0
+
+
+@dataclass
+class HoldTracker:
+    """Tracks the open holding interval for a (task, resource) pair.
+
+    Application tasks hold a given resource through nested or repeated
+    grants; we track the outermost interval (depth counting), which is the
+    right granularity for "how long has this task been monopolizing the
+    resource".
+    """
+
+    open_depth: int = 0
+    open_since: Optional[float] = None
+
+    def on_get(self, now: float) -> None:
+        if self.open_depth == 0:
+            self.open_since = now
+        self.open_depth += 1
+
+    def on_free(self, now: float) -> float:
+        """Returns the completed hold duration (0 while still nested)."""
+        if self.open_depth == 0:
+            return 0.0
+        self.open_depth -= 1
+        if self.open_depth == 0 and self.open_since is not None:
+            duration = now - self.open_since
+            self.open_since = None
+            return duration
+        return 0.0
+
+    def current_hold(self, now: float) -> float:
+        if self.open_since is None:
+            return 0.0
+        return now - self.open_since
+
+
+Key = Tuple[int, ResourceHandle]  # (task id(), resource)
+
+
+class UsageLedger:
+    """Windowed + cumulative usage accounting across tasks and resources."""
+
+    def __init__(self) -> None:
+        #: (task-key, resource) -> stats.
+        self._task_total: Dict[Key, UsageStats] = {}
+        self._task_window: Dict[Key, UsageStats] = {}
+        self._holds: Dict[Key, HoldTracker] = {}
+        #: Open wait intervals (task queued on a resource, not yet granted).
+        self._waits: Dict[Key, HoldTracker] = {}
+        #: resource -> aggregate stats.
+        self._resource_total: Dict[ResourceHandle, UsageStats] = {}
+        self._resource_window: Dict[ResourceHandle, UsageStats] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _stats(self, table: Dict, key) -> UsageStats:
+        stats = table.get(key)
+        if stats is None:
+            stats = UsageStats()
+            table[key] = stats
+        return stats
+
+    def record_get(
+        self, task_key: int, resource: ResourceHandle, amount: float, now: float
+    ) -> None:
+        key = (task_key, resource)
+        self._stats(self._task_total, key).acquired += amount
+        self._stats(self._task_window, key).acquired += amount
+        self._stats(self._resource_total, resource).acquired += amount
+        self._stats(self._resource_window, resource).acquired += amount
+        self._stats_hold(key).on_get(now)
+
+    def record_free(
+        self, task_key: int, resource: ResourceHandle, amount: float, now: float
+    ) -> None:
+        key = (task_key, resource)
+        self._stats(self._task_total, key).released += amount
+        self._stats(self._task_window, key).released += amount
+        self._stats(self._resource_total, resource).released += amount
+        self._stats(self._resource_window, resource).released += amount
+        duration = self._stats_hold(key).on_free(now)
+        if duration > 0:
+            self._stats(self._task_total, key).hold_time += duration
+            self._stats(self._task_window, key).hold_time += duration
+            self._stats(self._resource_total, resource).hold_time += duration
+            self._stats(self._resource_window, resource).hold_time += duration
+
+    def record_slow_by(
+        self,
+        task_key: int,
+        resource: ResourceHandle,
+        delay: float,
+        events: float = 1.0,
+    ) -> None:
+        key = (task_key, resource)
+        for table, k in (
+            (self._task_total, key),
+            (self._task_window, key),
+            (self._resource_total, resource),
+            (self._resource_window, resource),
+        ):
+            stats = self._stats(table, k)
+            stats.wait_time += delay
+            stats.wait_events += events
+
+    def _stats_hold(self, key: Key) -> HoldTracker:
+        tracker = self._holds.get(key)
+        if tracker is None:
+            tracker = HoldTracker()
+            self._holds[key] = tracker
+        return tracker
+
+    # ------------------------------------------------------------------
+    # Open waits (in-progress queueing on a resource)
+    # ------------------------------------------------------------------
+    def record_wait_start(
+        self, task_key: int, resource: ResourceHandle, now: float
+    ) -> None:
+        """A task started waiting on ``resource`` (before the grant).
+
+        Open waits let the estimator see a convoy *while it is forming*:
+        blocked tasks never reach the grant point where closed wait time
+        would be recorded.
+        """
+        key = (task_key, resource)
+        tracker = self._waits.get(key)
+        if tracker is None:
+            tracker = HoldTracker()
+            self._waits[key] = tracker
+        tracker.on_get(now)
+
+    def record_wait_end(
+        self, task_key: int, resource: ResourceHandle, now: float
+    ) -> float:
+        """Close an open wait; records the duration as slow-by time."""
+        tracker = self._waits.get((task_key, resource))
+        if tracker is None:
+            return 0.0
+        duration = tracker.on_free(now)
+        if duration > 0:
+            self.record_slow_by(task_key, resource, duration)
+        return duration
+
+    def current_wait(
+        self, task_key: int, resource: ResourceHandle, now: float
+    ) -> float:
+        tracker = self._waits.get((task_key, resource))
+        return tracker.current_hold(now) if tracker else 0.0
+
+    def open_wait_time(self, resource: ResourceHandle, now: float) -> float:
+        """Sum of all in-progress wait durations on ``resource``."""
+        total = 0.0
+        for (task_key, res), tracker in self._waits.items():
+            if res == resource:
+                total += tracker.current_hold(now)
+        return total
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def task_total(self, task_key: int, resource: ResourceHandle) -> UsageStats:
+        return self._task_total.get((task_key, resource), UsageStats())
+
+    def task_window(self, task_key: int, resource: ResourceHandle) -> UsageStats:
+        return self._task_window.get((task_key, resource), UsageStats())
+
+    def resource_total(self, resource: ResourceHandle) -> UsageStats:
+        return self._resource_total.get(resource, UsageStats())
+
+    def resource_window(self, resource: ResourceHandle) -> UsageStats:
+        return self._resource_window.get(resource, UsageStats())
+
+    def current_hold(
+        self, task_key: int, resource: ResourceHandle, now: float
+    ) -> float:
+        tracker = self._holds.get((task_key, resource))
+        return tracker.current_hold(now) if tracker else 0.0
+
+    def tasks_touching(self, resource: ResourceHandle) -> list:
+        """Task keys with any recorded activity on ``resource``."""
+        return [
+            task_key
+            for (task_key, res) in self._task_total.keys()
+            if res == resource
+        ]
+
+    # ------------------------------------------------------------------
+    # Window management
+    # ------------------------------------------------------------------
+    def roll_window(self) -> None:
+        """Start a new detection window (clears windowed counters)."""
+        self._task_window.clear()
+        self._resource_window.clear()
+
+    def forget_task(self, task_key: int) -> None:
+        """Drop all state for a finished task (bounds memory)."""
+        for table in (
+            self._task_total,
+            self._task_window,
+            self._holds,
+            self._waits,
+        ):
+            stale = [k for k in table if k[0] == task_key]
+            for k in stale:
+                del table[k]

@@ -1,0 +1,73 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+One module per artifact:
+
+========  ====================================================
+fig2      dump queries vs buffer pool contention
+fig3      table-lock contention (scan + backup convoy)
+fig4      Protego / pBox / Atropos motivation comparison
+fig9      Atropos vs 4 systems across all cases
+fig10     mitigation effectiveness (Overload vs Atropos)
+fig11     drop rate (Atropos vs Protego)
+fig12     SLO maintenance under different thresholds
+fig13     cancellation-policy ablation
+fig14     tracing/decision overhead
+table1    cancellation-support survey
+table2    reproduced case inventory
+table3    integration effort
+========  ====================================================
+"""
+
+from importlib import import_module
+
+from .harness import RunResult, normalize, run_simulation
+from .tables import ExperimentResult, ExperimentTable
+
+#: experiment id -> (module under this package, runner attribute).
+#: Modules are imported lazily: several of them import :mod:`repro.cases`,
+#: which itself builds on this package's harness.
+_EXPERIMENT_RUNNERS = {
+    "fig2": ("fig2_buffer_pool", "run"),
+    "fig3": ("fig3_lock_contention", "run"),
+    "fig4": ("fig4_motivation", "run"),
+    "fig9": ("fig9_comparison", "run"),
+    "fig10": ("fig10_mitigation", "run"),
+    "fig11": ("fig11_drop_rate", "run"),
+    "fig12": ("fig12_slo", "run"),
+    "fig13": ("fig13_policies", "run"),
+    "fig14": ("fig14_overhead", "run"),
+    "table1": ("table_experiments", "run_table1"),
+    "table2": ("table_experiments", "run_table2"),
+    "table3": ("table_experiments", "run_table3"),
+}
+
+
+class _LazyRunner:
+    """Callable proxy importing the experiment module on first use."""
+
+    def __init__(self, module_name: str, attribute: str) -> None:
+        self._module_name = module_name
+        self._attribute = attribute
+
+    def __call__(self, *args, **kwargs):
+        module = import_module(f"{__name__}.{self._module_name}")
+        return getattr(module, self._attribute)(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<experiment {self._module_name}.{self._attribute}>"
+
+
+#: experiment id -> runner callable(quick=True) -> ExperimentResult.
+ALL_EXPERIMENTS = {
+    key: _LazyRunner(module, attribute)
+    for key, (module, attribute) in _EXPERIMENT_RUNNERS.items()
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentTable",
+    "RunResult",
+    "normalize",
+    "run_simulation",
+]

@@ -1,0 +1,138 @@
+"""Ablation sweeps over ATROPOS's design knobs.
+
+Not figures from the paper, but quantifications of trade-offs the paper
+discusses in prose:
+
+* **cancellation cooldown** (§5.3): the interval between consecutive
+  cancellations trades aggressiveness against over-cancellation; the
+  paper attributes its two SLO misses (c3, c12) to this interval.
+* **detection period** (§3.3): how often the Breakwater-style monitor
+  runs bounds the reaction time to a forming convoy.
+* **re-execution** (§4): disabling the retry path shows what fairness
+  costs (cancelled requests would simply be lost).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cases import get_case
+from ..core.atropos import Atropos
+from ..core.config import AtroposConfig
+from .tables import ExperimentResult, ExperimentTable
+
+#: Stream cases where repeated cancellations are needed.
+COOLDOWN_CASES = ["c2", "c12", "c15"]
+COOLDOWNS = [0.05, 0.2, 0.5, 1.0]
+
+DETECTION_CASES = ["c1", "c4", "c13"]
+PERIODS = [0.05, 0.1, 0.25, 0.5]
+
+
+def _atropos(case, **overrides):
+    merged = dict(case.atropos_overrides)
+    merged.update(overrides)
+
+    def build(env):
+        return Atropos(
+            env, AtroposConfig(slo_latency=case.slo_latency, **merged)
+        )
+
+    return build
+
+
+def run_cooldown(
+    quick: bool = True,
+    seed: int = 0,
+    case_ids: Optional[List[str]] = None,
+    cooldowns: Optional[List[float]] = None,
+) -> ExperimentResult:
+    """Sweep the cancellation cooldown on culprit-stream cases."""
+    case_ids = case_ids if case_ids is not None else list(COOLDOWN_CASES)
+    cooldowns = cooldowns if cooldowns is not None else list(COOLDOWNS)
+    p99 = ExperimentTable(
+        "Ablation: normalized p99 vs cancellation cooldown",
+        ["case"] + [f"cooldown_{c}s" for c in cooldowns],
+    )
+    cancels = ExperimentTable(
+        "Ablation: cancellations vs cancellation cooldown",
+        ["case"] + [f"cooldown_{c}s" for c in cooldowns],
+    )
+    for cid in case_ids:
+        case = get_case(cid)
+        baseline = case.run_baseline(seed=seed)
+        p99_row = [cid]
+        cancel_row = [cid]
+        for cooldown in cooldowns:
+            result = case.run(
+                controller_factory=_atropos(case, cancel_cooldown=cooldown),
+                seed=seed,
+            )
+            p99_row.append(result.p99_latency / baseline.p99_latency)
+            cancel_row.append(result.controller.cancels_issued)
+        p99.add_row(*p99_row)
+        cancels.add_row(*cancel_row)
+    return ExperimentResult(
+        experiment_id="ablation-cooldown",
+        description="Cancellation-cooldown trade-off (§5.3)",
+        tables=[p99, cancels],
+    )
+
+
+def run_detection_period(
+    quick: bool = True,
+    seed: int = 0,
+    case_ids: Optional[List[str]] = None,
+    periods: Optional[List[float]] = None,
+) -> ExperimentResult:
+    """Sweep the detection period on single-culprit convoy cases."""
+    case_ids = case_ids if case_ids is not None else list(DETECTION_CASES)
+    periods = periods if periods is not None else list(PERIODS)
+    p99 = ExperimentTable(
+        "Ablation: normalized p99 vs detection period",
+        ["case"] + [f"period_{p}s" for p in periods],
+    )
+    for cid in case_ids:
+        case = get_case(cid)
+        baseline = case.run_baseline(seed=seed)
+        row = [cid]
+        for period in periods:
+            result = case.run(
+                controller_factory=_atropos(case, detection_period=period),
+                seed=seed,
+            )
+            row.append(result.p99_latency / baseline.p99_latency)
+        p99.add_row(*row)
+    return ExperimentResult(
+        experiment_id="ablation-detection",
+        description="Detection-period reaction-time trade-off (§3.3)",
+        tables=[p99],
+    )
+
+
+def run_no_reexecution(
+    quick: bool = True, seed: int = 0, case_ids: Optional[List[str]] = None
+) -> ExperimentResult:
+    """Compare drop rates with and without the re-execution path."""
+    case_ids = case_ids if case_ids is not None else ["c2", "c5", "c15"]
+    table = ExperimentTable(
+        "Ablation: drop rate with vs without re-execution",
+        ["case", "with_reexec", "without_reexec"],
+    )
+    for cid in case_ids:
+        case = get_case(cid)
+        with_reexec = case.run(
+            controller_factory=_atropos(case), seed=seed
+        )
+        # reexec_slo_multiple=0 exhausts the budget immediately: every
+        # cancelled request is dropped.
+        without = case.run(
+            controller_factory=_atropos(case, reexec_slo_multiple=0.0),
+            seed=seed,
+        )
+        table.add_row(cid, with_reexec.drop_rate, without.drop_rate)
+    return ExperimentResult(
+        experiment_id="ablation-reexec",
+        description="Re-execution fairness mechanism (§4)",
+        tables=[table],
+    )

@@ -1,0 +1,77 @@
+"""Figure 10: ATROPOS mitigation effectiveness across the 16 cases.
+
+For each case: normalized throughput and p99 of the uncontrolled
+"Overload" run versus the ATROPOS run, normalized by the non-overloaded
+baseline.  The paper's headline: ATROPOS averages 96% throughput and
+1.16x p99 over the 16 cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..baselines import controller_factory
+from ..cases import all_case_ids, get_case
+from .harness import normalize
+from .tables import ExperimentResult, ExperimentTable
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    case_ids: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 10's Overload-vs-Atropos series."""
+    case_ids = case_ids if case_ids is not None else all_case_ids()
+    tput = ExperimentTable(
+        "Fig 10a: normalized throughput per case",
+        ["case", "Overload", "Atropos"],
+    )
+    p99 = ExperimentTable(
+        "Fig 10b: normalized p99 latency per case",
+        ["case", "Overload", "Atropos"],
+    )
+    extras = ExperimentTable(
+        "Fig 10 extras: Atropos drop rate and cancellations per case",
+        ["case", "drop_rate", "cancels"],
+    )
+    for cid in case_ids:
+        case = get_case(cid)
+        baseline = case.run_baseline(seed=seed)
+        overload = case.run(seed=seed)
+        atropos = case.run(
+            controller_factory=controller_factory(
+                "atropos",
+                case.slo_latency,
+                atropos_overrides=case.atropos_overrides,
+            ),
+            seed=seed,
+        )
+        tput.add_row(
+            cid,
+            normalize(overload.throughput, baseline.throughput),
+            normalize(atropos.throughput, baseline.throughput),
+        )
+        p99.add_row(
+            cid,
+            normalize(overload.p99_latency, baseline.p99_latency),
+            normalize(atropos.p99_latency, baseline.p99_latency),
+        )
+        extras.add_row(
+            cid, atropos.drop_rate, atropos.controller.cancels_issued
+        )
+    summary = ExperimentTable(
+        "Fig 10 summary (paper: Atropos 96% tput, 1.16x p99, <0.01% drops)",
+        ["metric", "value"],
+    )
+    atr_tputs = tput.column("Atropos")
+    atr_p99s = p99.column("Atropos")
+    drops = extras.column("drop_rate")
+    summary.add_row("avg_norm_throughput", sum(atr_tputs) / len(atr_tputs))
+    summary.add_row("avg_norm_p99", sum(atr_p99s) / len(atr_p99s))
+    summary.add_row("avg_drop_rate", sum(drops) / len(drops))
+    return ExperimentResult(
+        experiment_id="fig10",
+        description="Mitigation effectiveness of Atropos across 16 cases",
+        tables=[tput, p99, extras, summary],
+    )

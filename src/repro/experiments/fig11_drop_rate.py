@@ -1,0 +1,56 @@
+"""Figure 11: drop rate of ATROPOS vs Protego.
+
+The paper reports drop rates for the synchronization/system/thread-pool
+cases (c1, c3, c4, c6, c7, c8, c9, c12, c13, c14): ATROPOS stays below
+0.01% while Protego averages ~25% because it must drop victims to bound
+tail latency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..baselines import controller_factory
+from ..cases import get_case
+from .tables import ExperimentResult, ExperimentTable
+
+#: The cases shown in the paper's Figure 11.
+FIG11_CASES = ["c1", "c3", "c4", "c6", "c7", "c8", "c9", "c12", "c13", "c14"]
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    case_ids: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 11's drop-rate comparison."""
+    case_ids = case_ids if case_ids is not None else list(FIG11_CASES)
+    table = ExperimentTable(
+        "Fig 11: drop rate per case", ["case", "Protego", "Atropos"]
+    )
+    for cid in case_ids:
+        case = get_case(cid)
+        protego = case.run(
+            controller_factory=controller_factory("protego", case.slo_latency),
+            seed=seed,
+        )
+        atropos = case.run(
+            controller_factory=controller_factory(
+                "atropos",
+                case.slo_latency,
+                atropos_overrides=case.atropos_overrides,
+            ),
+            seed=seed,
+        )
+        table.add_row(cid, protego.drop_rate, atropos.drop_rate)
+    summary = ExperimentTable(
+        "Fig 11 summary", ["system", "avg_drop_rate"]
+    )
+    for system in ("Protego", "Atropos"):
+        values = table.column(system)
+        summary.add_row(system, sum(values) / len(values))
+    return ExperimentResult(
+        experiment_id="fig11",
+        description="Drop rate of Atropos vs Protego",
+        tables=[table, summary],
+    )

@@ -1,0 +1,159 @@
+"""Figure 14: runtime overhead of ATROPOS tracing.
+
+Five applications, four workloads (read / write, each with and without an
+injected resource overload).  ATROPOS runs with *cancellation disabled*
+(§5.5) so only tracing + decision overhead is measured, and results are
+normalized against the uninstrumented run of the same workload.
+
+Expected shape: under normal load the sampled-timestamp (coarse) mode
+costs well under ~2% throughput; under overload the per-event (fine)
+mode costs several percent -- small next to the benefit of cancellation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..apps.apache import Apache, ApacheConfig
+from ..apps.base import Operation
+from ..apps.elasticsearch import Elasticsearch, ElasticsearchConfig
+from ..apps.mysql import MySQL, MySQLConfig, light_mix
+from ..apps.postgres import PostgreSQL, PostgresConfig
+from ..apps.solr import Solr, SolrConfig
+from ..core.atropos import Atropos
+from ..core.config import AtroposConfig
+from ..workloads.spec import MixEntry, OpenLoopSource, ScheduledOp, Workload
+from .harness import normalize, run_simulation
+from .tables import ExperimentResult, ExperimentTable
+
+WORKLOADS = ["Read", "Write", "Read Overload", "Write Overload"]
+
+
+def _mix(rng, read_ops, write_ops, read_heavy: bool):
+    ops = read_ops if read_heavy else write_ops
+    entries = []
+    for name, params in ops:
+        entries.append(
+            MixEntry(
+                factory=lambda n=name, p=params: Operation(n, dict(p)),
+                weight=1.0,
+            )
+        )
+    return entries
+
+
+#: app -> (factory, read ops, write ops, overload trigger op, rate).
+APP_SPECS: Dict[str, Tuple] = {
+    "mysql": (
+        lambda env, c, rng: MySQL(env, c, rng, config=MySQLConfig()),
+        [("point_select", {})],
+        [("row_update", {})],
+        ("dump", {}),
+        500.0,
+    ),
+    "postgres": (
+        lambda env, c, rng: PostgreSQL(env, c, rng, config=PostgresConfig()),
+        [("select", {})],
+        [("update", {})],
+        ("bulk_update", {"table": 0, "rows": 1.5e6}),
+        400.0,
+    ),
+    "apache": (
+        lambda env, c, rng: Apache(env, c, rng, config=ApacheConfig()),
+        [("static", {})],
+        [("static", {})],
+        ("php_script", {"duration": 4.0}),
+        400.0,
+    ),
+    "elasticsearch": (
+        lambda env, c, rng: Elasticsearch(
+            env, c, rng, config=ElasticsearchConfig()
+        ),
+        [("search", {})],
+        [("indexing", {})],
+        ("large_search", {}),
+        400.0,
+    ),
+    "solr": (
+        lambda env, c, rng: Solr(env, c, rng, config=SolrConfig()),
+        [("query", {})],
+        [("query", {})],
+        ("boolean_query", {"duration": 4.0}),
+        400.0,
+    ),
+}
+
+
+def _workload(spec, read_heavy: bool, overload: bool):
+    _, read_ops, write_ops, trigger, rate = spec
+
+    def build(app, rng):
+        sources = [
+            OpenLoopSource(
+                rate=rate, mix=_mix(rng, read_ops, write_ops, read_heavy)
+            )
+        ]
+        if overload:
+            name, params = trigger
+            sources.append(
+                ScheduledOp(
+                    at=2.0,
+                    factory=lambda: Operation(name, dict(params)),
+                    client_id="culprit",
+                )
+            )
+        return Workload(sources)
+
+    return build
+
+
+def _tracing_only_atropos(env):
+    """ATROPOS with cancellation disabled: tracing + decisions only."""
+    return Atropos(env, AtroposConfig(cancellation_enabled=False))
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    apps: Optional[List[str]] = None,
+    duration: float = 10.0,
+) -> ExperimentResult:
+    """Regenerate Figure 14's overhead bars."""
+    apps = apps if apps is not None else list(APP_SPECS)
+    tput = ExperimentTable(
+        "Fig 14a: normalized throughput (Atropos / uninstrumented)",
+        ["app"] + WORKLOADS,
+    )
+    p99 = ExperimentTable(
+        "Fig 14b: normalized p99 latency (Atropos / uninstrumented)",
+        ["app"] + WORKLOADS,
+    )
+    for app_name in apps:
+        spec = APP_SPECS[app_name]
+        factory = spec[0]
+        tput_row = [app_name]
+        p99_row = [app_name]
+        for workload_name in WORKLOADS:
+            read_heavy = workload_name.startswith("Read")
+            overload = "Overload" in workload_name
+            wl = _workload(spec, read_heavy, overload)
+            plain = run_simulation(
+                factory, wl, duration=duration, warmup=2.0, seed=seed
+            )
+            traced = run_simulation(
+                factory,
+                wl,
+                controller_factory=_tracing_only_atropos,
+                duration=duration,
+                warmup=2.0,
+                seed=seed,
+            )
+            tput_row.append(normalize(traced.throughput, plain.throughput))
+            p99_row.append(normalize(traced.p99_latency, plain.p99_latency))
+        tput.add_row(*tput_row)
+        p99.add_row(*p99_row)
+    return ExperimentResult(
+        experiment_id="fig14",
+        description="Tracing/decision overhead of Atropos",
+        tables=[tput, p99],
+    )

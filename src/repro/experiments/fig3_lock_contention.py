@@ -1,0 +1,105 @@
+"""Figure 3: performance impact of table lock contention.
+
+The paper's setup (case study 2 of §2.1): a lightweight mixed workload,
+three long scan queries launched at t = 5/10/15 s and one backup query at
+t = 20 s.  "Lock Contention" runs scans + backup; "Drop Scan" removes the
+scans; "Drop Backup" removes the backup.  Throughput collapses only when
+*both* are present -- the convoy needs the interaction.
+
+Our time axis is compressed (scans at 2/3/4 s, backup at 5 s, 14 s runs)
+to match the simulation scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..apps.base import Operation
+from ..apps.mysql import MySQL, MySQLConfig, light_mix
+from ..workloads.spec import OpenLoopSource, ScheduledOp, Workload
+from .harness import run_simulation
+from .tables import ExperimentResult, ExperimentTable
+
+SCENARIOS = ["Lock Contention", "Drop Scan", "Drop Backup"]
+
+QUICK_LOADS = [200.0, 500.0, 800.0, 1100.0, 1400.0]
+FULL_LOADS = [100.0, 300.0, 500.0, 700.0, 900.0, 1100.0, 1300.0, 1500.0,
+              1700.0]
+
+SCAN_TIMES = (2.0, 3.0, 4.0)
+BACKUP_TIME = 5.0
+DURATION = 14.0
+
+
+def _mysql(env, controller, rng):
+    return MySQL(env, controller, rng, config=MySQLConfig())
+
+
+def _workload(rate: float, scans: bool, backup: bool):
+    def build(app, rng):
+        sources = [OpenLoopSource(rate=rate, mix=light_mix(rng))]
+        if scans:
+            for at in SCAN_TIMES:
+                sources.append(
+                    ScheduledOp(
+                        at=at,
+                        factory=lambda: Operation(
+                            "scan", {"table": 0, "rows": 1.4e6}
+                        ),
+                        client_id="analytics",
+                    )
+                )
+        if backup:
+            sources.append(
+                ScheduledOp(
+                    at=BACKUP_TIME,
+                    factory=lambda: Operation("backup", {}),
+                    client_id="backup",
+                )
+            )
+        return Workload(sources)
+
+    return build
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    loads: Optional[List[float]] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 3's throughput and p99 series."""
+    loads = loads if loads is not None else (QUICK_LOADS if quick else FULL_LOADS)
+    tput = ExperimentTable(
+        "Fig 3 (top): throughput (req/s) vs offered load",
+        ["offered_load"] + SCENARIOS,
+    )
+    p99 = ExperimentTable(
+        "Fig 3 (bottom): p99 latency (s) vs offered load",
+        ["offered_load"] + SCENARIOS,
+    )
+    variants = {
+        "Lock Contention": (True, True),
+        "Drop Scan": (False, True),
+        "Drop Backup": (True, False),
+    }
+    for load in loads:
+        tput_row = [load]
+        p99_row = [load]
+        for name in SCENARIOS:
+            scans, backup = variants[name]
+            result = run_simulation(
+                _mysql,
+                _workload(load, scans=scans, backup=backup),
+                duration=DURATION,
+                warmup=2.0,
+                seed=seed,
+            )
+            tput_row.append(result.throughput)
+            p99_row.append(result.p99_latency)
+        tput.add_row(*tput_row)
+        p99.add_row(*p99_row)
+    return ExperimentResult(
+        experiment_id="fig3",
+        description="Performance impact of table lock contention",
+        tables=[tput, p99],
+    )

@@ -1,0 +1,80 @@
+"""Figure 4: Protego vs pBox vs ATROPOS on the table-lock overload case.
+
+The paper evaluates the three systems on case study 2 (§2.1) across a
+load sweep and reports throughput and p99 normalized by the
+non-overloaded performance at the same load, plus the drop rate.
+Protego bounds latency but drops a lot; pBox cannot release the held
+locks; ATROPOS cancels the culprit and keeps all three metrics good.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..baselines import controller_factory
+from .fig3_lock_contention import DURATION, _mysql, _workload
+from .harness import normalize, run_simulation
+from .tables import ExperimentResult, ExperimentTable
+
+SYSTEMS = ["atropos", "protego", "pbox"]
+
+QUICK_LOADS = [300.0, 600.0, 900.0, 1200.0]
+FULL_LOADS = [200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0]
+
+SLO_LATENCY = 0.05
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    loads: Optional[List[float]] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 4's normalized tput / p99 / drop-rate series."""
+    loads = loads if loads is not None else (QUICK_LOADS if quick else FULL_LOADS)
+    tput = ExperimentTable(
+        "Fig 4a: normalized throughput vs offered load",
+        ["offered_load"] + SYSTEMS,
+    )
+    p99 = ExperimentTable(
+        "Fig 4b: normalized p99 latency vs offered load",
+        ["offered_load"] + SYSTEMS,
+    )
+    drops = ExperimentTable(
+        "Fig 4c: drop rate vs offered load",
+        ["offered_load"] + SYSTEMS,
+    )
+    for load in loads:
+        baseline = run_simulation(
+            _mysql,
+            _workload(load, scans=False, backup=False),
+            duration=DURATION,
+            warmup=2.0,
+            seed=seed,
+        )
+        tput_row = [load]
+        p99_row = [load]
+        drop_row = [load]
+        for system in SYSTEMS:
+            result = run_simulation(
+                _mysql,
+                _workload(load, scans=True, backup=True),
+                controller_factory=controller_factory(system, SLO_LATENCY),
+                duration=DURATION,
+                warmup=2.0,
+                seed=seed,
+            )
+            tput_row.append(normalize(result.throughput, baseline.throughput))
+            p99_row.append(
+                normalize(result.p99_latency, baseline.p99_latency)
+            )
+            drop_row.append(result.drop_rate)
+        tput.add_row(*tput_row)
+        p99.add_row(*p99_row)
+        drops.add_row(*drop_row)
+    return ExperimentResult(
+        experiment_id="fig4",
+        description=(
+            "Protego vs pBox vs Atropos on the table-lock overload case"
+        ),
+        tables=[tput, p99, drops],
+    )

@@ -1,0 +1,140 @@
+"""Shared run harness: build app + controller + workload, run, summarize.
+
+Every experiment, test, and example assembles runs through this module so
+that results are comparable and deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.controller import BaseController, NullController
+from ..sim.environment import Environment
+from ..sim.metrics import MetricsCollector, Summary
+from ..sim.rng import Rng
+from ..workloads.driver import Driver
+from ..workloads.spec import Workload
+
+#: Builds an application bound to (env, controller, rng).
+AppFactory = Callable[[Environment, BaseController, Rng], object]
+#: Builds a controller bound to env.
+ControllerFactory = Callable[[Environment], BaseController]
+#: Builds the workload for an app.
+WorkloadFactory = Callable[[object, Rng], Workload]
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one simulation run."""
+
+    summary: Summary
+    collector: MetricsCollector
+    controller: BaseController
+    app: object
+    driver: Driver
+    duration: float
+
+    @property
+    def throughput(self) -> float:
+        return self.summary.throughput
+
+    @property
+    def p99_latency(self) -> float:
+        return self.summary.p99_latency
+
+    @property
+    def drop_rate(self) -> float:
+        return self.summary.drop_rate
+
+    def timeline(self, window: float = 0.5):
+        """Per-window (end_time, throughput, p99) series over the run.
+
+        Useful for plotting how an overload forms and how quickly the
+        controller recovers.
+        """
+        from ..sim.metrics import percentile
+
+        if window <= 0:
+            raise ValueError("window must be positive")
+        points = []
+        n_windows = max(1, int(self.duration / window))
+        buckets = [[] for _ in range(n_windows)]
+        for record in self.collector.records:
+            if not record.completed:
+                continue
+            idx = min(int(record.finish_time // window), n_windows - 1)
+            buckets[idx].append(record.latency)
+        for i, latencies in enumerate(buckets):
+            points.append(
+                (
+                    (i + 1) * window,
+                    len(latencies) / window,
+                    percentile(latencies, 99),
+                )
+            )
+        return points
+
+
+def run_simulation(
+    app_factory: AppFactory,
+    workload_factory: WorkloadFactory,
+    controller_factory: Optional[ControllerFactory] = None,
+    duration: float = 10.0,
+    seed: int = 0,
+    warmup: float = 0.0,
+) -> RunResult:
+    """Run one simulation to completion and summarize.
+
+    Args:
+        app_factory: builds the application.
+        workload_factory: builds the workload given (app, rng).
+        controller_factory: builds the overload controller (default: the
+            uncontrolled :class:`NullController`).
+        duration: simulated seconds to run.
+        seed: RNG seed (runs are deterministic per seed).
+        warmup: completions finishing before this time are excluded from
+            the summary (cold-cache transient).
+    """
+    env = Environment()
+    rng = Rng(seed)
+    controller = (
+        controller_factory(env) if controller_factory else NullController(env)
+    )
+    app = app_factory(env, controller, rng)
+    controller.bind(app)
+    controller.start()
+    collector = MetricsCollector()
+    driver = Driver(env, app, controller, collector)
+    workload = workload_factory(app, rng)
+    driver.run_workload(workload)
+    env.run(until=duration)
+
+    if warmup > 0.0:
+        trimmed = MetricsCollector()
+        trimmed._offered = collector.offered
+        for record in collector.records:
+            if record.finish_time >= warmup:
+                trimmed.record(record)
+        collector_for_summary = trimmed
+        effective = duration - warmup
+    else:
+        collector_for_summary = collector
+        effective = duration
+
+    summary = Summary.from_collector(collector_for_summary, effective)
+    return RunResult(
+        summary=summary,
+        collector=collector,
+        controller=controller,
+        app=app,
+        driver=driver,
+        duration=duration,
+    )
+
+
+def normalize(value: float, baseline: float) -> float:
+    """Safe normalization used across the figures."""
+    if baseline == 0:
+        return float("nan")
+    return value / baseline

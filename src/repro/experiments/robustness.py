@@ -1,0 +1,66 @@
+"""Multi-seed robustness sweep (beyond the paper).
+
+The paper reports single measurements per case; a simulation can cheaply
+quantify run-to-run variance instead.  This experiment repeats the
+Figure 10 headline (Overload vs ATROPOS) across seeds and reports
+min/mean/max of the normalized metrics per case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..baselines import controller_factory
+from ..cases import get_case
+from .harness import normalize
+from .tables import ExperimentResult, ExperimentTable
+
+DEFAULT_CASES = ["c1", "c2", "c5", "c8", "c13", "c15"]
+DEFAULT_SEEDS = [0, 1, 2]
+
+
+def run(
+    quick: bool = True,
+    case_ids: Optional[List[str]] = None,
+    seeds: Optional[List[int]] = None,
+) -> ExperimentResult:
+    """Repeat the headline mitigation result across seeds."""
+    case_ids = case_ids if case_ids is not None else list(DEFAULT_CASES)
+    seeds = seeds if seeds is not None else list(DEFAULT_SEEDS)
+    table = ExperimentTable(
+        "Robustness: Atropos normalized metrics across seeds "
+        f"(seeds={seeds})",
+        [
+            "case",
+            "tput_min", "tput_mean", "tput_max",
+            "p99_min", "p99_mean", "p99_max",
+            "drop_max",
+        ],
+    )
+    for cid in case_ids:
+        case = get_case(cid)
+        tputs, p99s, drops = [], [], []
+        for seed in seeds:
+            baseline = case.run_baseline(seed=seed)
+            atropos = case.run(
+                controller_factory=controller_factory(
+                    "atropos",
+                    case.slo_latency,
+                    atropos_overrides=case.atropos_overrides,
+                ),
+                seed=seed,
+            )
+            tputs.append(normalize(atropos.throughput, baseline.throughput))
+            p99s.append(normalize(atropos.p99_latency, baseline.p99_latency))
+            drops.append(atropos.drop_rate)
+        table.add_row(
+            cid,
+            min(tputs), sum(tputs) / len(tputs), max(tputs),
+            min(p99s), sum(p99s) / len(p99s), max(p99s),
+            max(drops),
+        )
+    return ExperimentResult(
+        experiment_id="robustness",
+        description="Multi-seed robustness of the headline mitigation",
+        tables=[table],
+    )

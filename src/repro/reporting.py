@@ -1,0 +1,65 @@
+"""Report generation: run experiments and render a reproduction record.
+
+Used by ``python -m repro all`` to (re)generate the EXPERIMENTS-style
+record of every figure and table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from .experiments import ALL_EXPERIMENTS, ExperimentResult
+
+#: The order artifacts appear in the paper.
+DEFAULT_ORDER = [
+    "fig2", "fig3", "fig4", "table1", "table2", "table3",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+]
+
+
+def run_experiments(
+    ids: Optional[Iterable[str]] = None,
+    quick: bool = True,
+    seed: int = 0,
+    progress=None,
+) -> Dict[str, ExperimentResult]:
+    """Run the requested experiments; returns id -> result."""
+    ids = list(ids) if ids is not None else list(DEFAULT_ORDER)
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    results: Dict[str, ExperimentResult] = {}
+    for exp_id in ids:
+        started = time.time()
+        runner = ALL_EXPERIMENTS[exp_id]
+        kwargs = {"quick": quick}
+        if exp_id.startswith("fig"):
+            kwargs["seed"] = seed
+        results[exp_id] = runner(**kwargs)
+        if progress is not None:
+            progress(exp_id, time.time() - started)
+    return results
+
+
+def render_report(
+    results: Dict[str, ExperimentResult], title: str = "Reproduction results"
+) -> str:
+    """Render results as a markdown-ish text report."""
+    lines = [f"# {title}", ""]
+    for exp_id in DEFAULT_ORDER:
+        if exp_id not in results:
+            continue
+        result = results[exp_id]
+        lines.append("```")
+        lines.append(result.format())
+        lines.append("```")
+        lines.append("")
+    # Anything requested outside the default order.
+    for exp_id, result in results.items():
+        if exp_id not in DEFAULT_ORDER:
+            lines.append("```")
+            lines.append(result.format())
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, List, Optional, Tuple, Union
+
+from .errors import EmptySchedule, StopSimulation
+from .events import NORMAL, AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+#: Heap entries: (time, priority, sequence, event).  The sequence number
+#: makes ordering total and FIFO among same-time same-priority events.
+QueueEntry = Tuple[float, int, int, Event]
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in *seconds* of simulated time.  All model components
+    (resources, applications, ATROPOS itself) share one environment.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[QueueEntry] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the run loop
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed after ``delay``."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when no events remain, and re-raises
+        the exception of a failed event that nobody handled (not defused).
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # Event was already processed (can happen if it was scheduled
+            # twice through trigger chaining); nothing to do.
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # Nobody handled the failure: crash loudly rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Args:
+            until: ``None`` runs until no events remain; a number runs until
+                that simulated time; an :class:`Event` runs until that event
+                is processed and returns its value.
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_at = float("inf")
+            if stop_event.callbacks is None:
+                return stop_event.value
+            stop_event.callbacks.append(_stop_simulation)
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must not be before now ({self._now})"
+                )
+
+        try:
+            while self._queue and self.peek() <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            pass
+
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                "simulation ran out of events before the until-event triggered"
+            )
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None
+
+
+def _stop_simulation(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    # Failed until-event: propagate through normal failure handling.
+    event.defused = False

@@ -1,0 +1,48 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at an event.
+
+    Carries the value of the event that ended the run.
+    """
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The simulated application observes the interrupt at its current yield
+    point -- exactly the "cancellation checkpoint" semantics ATROPOS relies
+    on: a task can only be cancelled at points where it is safe to unwind.
+
+    Attributes:
+        cause: arbitrary object describing why the process was interrupted
+            (for ATROPOS cancellations this is a :class:`CancelSignal`).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"

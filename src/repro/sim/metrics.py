@@ -1,0 +1,247 @@
+"""Request metrics: completion records, throughput windows, percentiles.
+
+The collector is shared by the workload driver (which records outcomes),
+overload detectors (which watch recent windows), and the experiment harness
+(which computes the normalized series the paper's figures report).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+
+class RequestStatus(enum.Enum):
+    """Terminal outcome of a request."""
+
+    COMPLETED = "completed"
+    #: Cancelled by an overload controller and *not* retried to completion.
+    CANCELLED = "cancelled"
+    #: Rejected before execution (admission control) or dropped mid-flight.
+    DROPPED = "dropped"
+    #: Exceeded its SLO deadline and was abandoned by the client.
+    TIMED_OUT = "timed_out"
+
+
+@dataclass
+class RequestRecord:
+    """Terminal record for one request."""
+
+    request_id: int
+    op_name: str
+    client_id: str
+    arrival_time: float
+    finish_time: float
+    status: RequestStatus
+    #: Number of times the request was cancelled and re-executed.
+    retries: int = 0
+    #: Free-form tags (e.g. which resource the culprit monopolized).
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end sojourn time (arrival to terminal outcome)."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def completed(self) -> bool:
+        return self.status is RequestStatus.COMPLETED
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Exact percentile by linear interpolation (numpy-compatible).
+
+    Returns ``nan`` for an empty sequence.
+    """
+    if not values:
+        return float("nan")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # Interpolate as base + delta*frac: exact when both points are equal
+    # (a*(1-f) + b*f can drift by one ulp for tiny magnitudes).
+    return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+
+class MetricsCollector:
+    """Accumulates terminal request records for a simulation run."""
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+        self._offered = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def note_offered(self, n: int = 1) -> None:
+        """Count requests offered to the system (including rejected ones)."""
+        self._offered += n
+
+    def record(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def offered(self) -> int:
+        return self._offered
+
+    def completed_records(
+        self, op_name: Optional[str] = None
+    ) -> List[RequestRecord]:
+        return [
+            r
+            for r in self.records
+            if r.completed and (op_name is None or r.op_name == op_name)
+        ]
+
+    def throughput(
+        self, duration: float, op_name: Optional[str] = None
+    ) -> float:
+        """Completed requests per second over ``duration``."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return len(self.completed_records(op_name)) / duration
+
+    def goodput(self, duration: float, slo: float) -> float:
+        """Completions under the latency SLO, per second."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        good = sum(
+            1 for r in self.records if r.completed and r.latency <= slo
+        )
+        return good / duration
+
+    def latency_percentile(
+        self, pct: float, op_name: Optional[str] = None
+    ) -> float:
+        """Latency percentile over completed requests."""
+        lats = [r.latency for r in self.completed_records(op_name)]
+        return percentile(lats, pct)
+
+    def mean_latency(self, op_name: Optional[str] = None) -> float:
+        lats = [r.latency for r in self.completed_records(op_name)]
+        return sum(lats) / len(lats) if lats else float("nan")
+
+    def drop_rate(self) -> float:
+        """Fraction of terminal requests that were dropped/cancelled/timed out.
+
+        This matches the paper's "drop rate": a request that was cancelled
+        but successfully re-executed counts as completed, not dropped.
+        """
+        terminal = len(self.records)
+        if terminal == 0:
+            return 0.0
+        dropped = sum(1 for r in self.records if not r.completed)
+        return dropped / terminal
+
+    def status_counts(self) -> Dict[RequestStatus, int]:
+        counts: Dict[RequestStatus, int] = {s: 0 for s in RequestStatus}
+        for r in self.records:
+            counts[r.status] += 1
+        return counts
+
+    def throughput_series(
+        self, window: float, end_time: float
+    ) -> List[Tuple[float, float]]:
+        """(window_end, completions/sec) series over [0, end_time]."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        n_windows = max(1, int(math.ceil(end_time / window)))
+        counts = [0] * n_windows
+        for r in self.records:
+            if not r.completed:
+                continue
+            idx = min(int(r.finish_time // window), n_windows - 1)
+            counts[idx] += 1
+        return [
+            ((i + 1) * window, counts[i] / window) for i in range(n_windows)
+        ]
+
+
+class SlidingWindow:
+    """Recent-completions window used by online overload detectors.
+
+    Keeps (finish_time, latency) pairs within a trailing horizon; supports
+    cheap throughput and tail-latency queries over that horizon.
+    """
+
+    def __init__(self, horizon: float) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = horizon
+        self._entries: Deque[Tuple[float, float]] = deque()
+
+    def observe(self, finish_time: float, latency: float) -> None:
+        self._entries.append((finish_time, latency))
+        self._evict(finish_time)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.horizon
+        entries = self._entries
+        while entries and entries[0][0] < cutoff:
+            entries.popleft()
+
+    def count(self, now: float) -> int:
+        self._evict(now)
+        return len(self._entries)
+
+    def throughput(self, now: float) -> float:
+        self._evict(now)
+        return len(self._entries) / self.horizon
+
+    def latency_percentile(self, now: float, pct: float) -> float:
+        self._evict(now)
+        return percentile([lat for _, lat in self._entries], pct)
+
+    def mean_latency(self, now: float) -> float:
+        self._evict(now)
+        if not self._entries:
+            return float("nan")
+        return sum(lat for _, lat in self._entries) / len(self._entries)
+
+
+@dataclass
+class Summary:
+    """Condensed result of one simulation run (one experiment data point)."""
+
+    duration: float
+    throughput: float
+    p50_latency: float
+    p99_latency: float
+    mean_latency: float
+    drop_rate: float
+    completed: int
+    dropped: int
+    cancelled: int
+    timed_out: int
+
+    @classmethod
+    def from_collector(
+        cls, collector: MetricsCollector, duration: float
+    ) -> "Summary":
+        counts = collector.status_counts()
+        return cls(
+            duration=duration,
+            throughput=collector.throughput(duration),
+            p50_latency=collector.latency_percentile(50),
+            p99_latency=collector.latency_percentile(99),
+            mean_latency=collector.mean_latency(),
+            drop_rate=collector.drop_rate(),
+            completed=counts[RequestStatus.COMPLETED],
+            dropped=counts[RequestStatus.DROPPED],
+            cancelled=counts[RequestStatus.CANCELLED],
+            timed_out=counts[RequestStatus.TIMED_OUT],
+        )

@@ -1,0 +1,160 @@
+"""Generator-based simulated processes with interrupt support.
+
+A :class:`Process` wraps a Python generator that yields :class:`Event`
+objects to wait on them.  Processes can be interrupted, which throws
+:class:`~repro.sim.errors.Interrupt` into the generator at its current
+yield point -- this models cancellation checkpoints: the simulated
+application only observes a cancellation where it chose to wait, and can
+run ``try/finally`` cleanup, just like a real cancellation initiator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .errors import Interrupt
+from .events import NORMAL, URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Initialize(Event):
+    """Internal event that starts a process on the next kernel step."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Internal event that delivers an interrupt to a process."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        # The interrupt is expected to be handled (or to kill the process);
+        # it must never crash the whole simulation on its own.
+        self.defused = True
+        self.process = process
+        self.callbacks = [self._interrupt]
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        process = self.process
+        if process.triggered:
+            # The process finished before the interrupt was delivered.
+            return
+        # Detach the process from whatever it was waiting on so that the
+        # original event does not also resume it later.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._resume(self)
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes (or fails with the exception that
+    escaped it), so other processes can ``yield proc`` to join it.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None while active).
+        self._target: Optional[Event] = None
+        self.name = getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is waiting for, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a finished process raises ``RuntimeError``; a process
+        cannot interrupt itself (cancel decisions always come from outside
+        the task being cancelled).
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self.env.active_process is self:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed; the exception is about to
+                    # be delivered, so it is handled as far as the kernel is
+                    # concerned.
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self, priority=NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                if isinstance(exc, Interrupt):
+                    # A cancellation that unwinds the whole task is an
+                    # expected outcome, not a simulation bug: do not crash
+                    # the run if nobody joins this process.
+                    self.defused = True
+                env.schedule(self, priority=NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = RuntimeError(
+                    f"process {self.name!r} yielded {next_event!r}, "
+                    "which is not an Event"
+                )
+                self._ok = False
+                self._value = exc
+                env.schedule(self, priority=NORMAL)
+                break
+
+            if next_event.callbacks is not None:
+                # Pending or triggered-but-unprocessed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # The event was already processed; feed its value immediately.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        status = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {status} at {id(self):#x}>"

@@ -1,0 +1,22 @@
+"""Simulated resource primitives used by the application models."""
+
+from .base import Grant, Resource
+from .cpu import CPU
+from .disk import DiskIO
+from .lock import LockGrant, SyncLock
+from .pool import EvictionOutcome, MemoryPool
+from .threadpool import QueueFull, SlotGrant, ThreadPool
+
+__all__ = [
+    "CPU",
+    "DiskIO",
+    "EvictionOutcome",
+    "Grant",
+    "LockGrant",
+    "MemoryPool",
+    "QueueFull",
+    "Resource",
+    "SlotGrant",
+    "SyncLock",
+    "ThreadPool",
+]

@@ -1,0 +1,96 @@
+"""Shared plumbing for simulated resource primitives.
+
+Every primitive hands out *grant events*: a process yields the grant to
+wait for the resource.  Grants are context managers so that cancellation
+(an :class:`~repro.sim.errors.Interrupt` raised at the yield point) always
+leaves the resource in a consistent state::
+
+    with lock.acquire(owner=task) as grant:
+        yield grant            # may raise Interrupt; __exit__ cleans up
+        ... use the resource ...
+
+This mirrors the safe-cancellation discipline the paper observes in real
+applications: resource acquire/release sites are exactly the cancellation
+checkpoints, and cleanup runs before the task unwinds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..environment import Environment
+
+
+class Grant(Event):
+    """Base class for resource grant events.
+
+    A grant is *pending* while queued, *granted* once the resource is
+    assigned, and *closed* after release or cancellation.
+    """
+
+    def __init__(self, env: "Environment", resource: Any, owner: Any) -> None:
+        super().__init__(env)
+        self.resource = resource
+        self.owner = owner
+        self.request_time = env.now
+        self.grant_time: Optional[float] = None
+        self.closed = False
+
+    @property
+    def granted(self) -> bool:
+        return self.grant_time is not None
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay between request and grant (so far, if pending)."""
+        if self.grant_time is None:
+            return self.env.now - self.request_time
+        return self.grant_time - self.request_time
+
+    @property
+    def hold_time(self) -> float:
+        """Time the resource has been held (0 if never granted)."""
+        if self.grant_time is None:
+            return 0.0
+        if self.closed:
+            return self._closed_hold
+        return self.env.now - self.grant_time
+
+    def _mark_granted(self) -> None:
+        self.grant_time = self.env.now
+        self.succeed(self)
+
+    def close(self) -> None:
+        """Release the resource if granted, or leave the queue if pending.
+
+        Idempotent; safe to call from ``finally`` blocks and ``__exit__``.
+        """
+        if self.closed:
+            return
+        self._closed_hold = self.hold_time if self.grant_time is not None else 0.0
+        self.closed = True
+        self.resource._close(self)
+
+    # -- context manager protocol -------------------------------------
+    def __enter__(self) -> "Grant":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+
+class Resource:
+    """Base class for primitives; subclasses implement ``_close``."""
+
+    def __init__(self, env: "Environment", name: str) -> None:
+        self.env = env
+        self.name = name
+
+    def _close(self, grant: Grant) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

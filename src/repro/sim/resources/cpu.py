@@ -1,0 +1,67 @@
+"""Multi-core CPU with sliced round-robin sharing.
+
+Service is approximated by chopping each task's CPU demand into short
+slices and queueing the slices FCFS on a fixed number of cores.  Long
+CPU-bound tasks therefore inflate everyone's latency through queueing --
+the behaviour behind the paper's case 12 (Elasticsearch long-running
+queries hogging CPU) -- while short tasks still interleave, like an OS
+scheduler would let them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator
+
+from ..events import Event
+from .threadpool import ThreadPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..environment import Environment
+
+
+class CPU:
+    """``cores`` cores shared via time slicing."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        cores: int,
+        slice_time: float = 0.002,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.cores = cores
+        self.slice_time = slice_time
+        self._pool = ThreadPool(env, f"{name}.cores", cores)
+        #: owner -> cumulative CPU seconds consumed.
+        self.usage: Dict[Any, float] = {}
+
+    @property
+    def run_queue_length(self) -> int:
+        """Slices waiting for a core right now."""
+        return self._pool.queue_length
+
+    @property
+    def busy_cores(self) -> int:
+        return self._pool.active
+
+    def consumed(self, owner: Any) -> float:
+        return self.usage.get(owner, 0.0)
+
+    def execute(self, owner: Any, cpu_time: float) -> Generator[Event, Any, None]:
+        """Process generator: burn ``cpu_time`` seconds of CPU, time-sliced.
+
+        Usage is charged slice by slice so an interrupt mid-way leaves the
+        accounting consistent (the task pays for what it actually ran).
+        """
+        if cpu_time < 0:
+            raise ValueError("cpu_time must be non-negative")
+        remaining = cpu_time
+        while remaining > 1e-12:
+            chunk = min(self.slice_time, remaining)
+            with self._pool.submit(owner=owner) as slot:
+                yield slot
+                yield self.env.timeout(chunk)
+                self.usage[owner] = self.usage.get(owner, 0.0) + chunk
+            remaining -= chunk

@@ -1,0 +1,73 @@
+"""Disk I/O device: FIFO service with per-op latency plus bandwidth.
+
+Models system I/O contention (the paper's case 8: PostgreSQL vacuum
+saturating the disk and slowing queries).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator
+
+from ..events import Event
+from .threadpool import ThreadPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..environment import Environment
+
+
+class DiskIO:
+    """A disk with fixed queue depth, per-op latency, and bandwidth."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        bandwidth_bytes_per_sec: float = 200e6,
+        op_latency: float = 0.0001,
+        queue_depth: int = 8,
+    ) -> None:
+        if bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.op_latency = op_latency
+        self._pool = ThreadPool(env, f"{name}.queue", queue_depth)
+        #: owner -> cumulative bytes transferred.
+        self.bytes_by_owner: Dict[Any, float] = {}
+        self.total_bytes = 0.0
+
+    @property
+    def queue(self) -> ThreadPool:
+        """The device queue (for callers that manage slots themselves)."""
+        return self._pool
+
+    @property
+    def queue_length(self) -> int:
+        return self._pool.queue_length
+
+    @property
+    def inflight(self) -> int:
+        return self._pool.active
+
+    def transferred(self, owner: Any) -> float:
+        return self.bytes_by_owner.get(owner, 0.0)
+
+    def _service_time(self, nbytes: float) -> float:
+        return self.op_latency + nbytes / self.bandwidth
+
+    def io(self, owner: Any, nbytes: float) -> Generator[Event, Any, None]:
+        """Process generator: perform one I/O of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        with self._pool.submit(owner=owner) as slot:
+            yield slot
+            yield self.env.timeout(self._service_time(nbytes))
+            self.bytes_by_owner[owner] = (
+                self.bytes_by_owner.get(owner, 0.0) + nbytes
+            )
+            self.total_bytes += nbytes
+
+    # Aliases to keep call sites readable.
+    read = io
+    write = io

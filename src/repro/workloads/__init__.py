@@ -1,0 +1,23 @@
+"""Workload generation and the request-lifecycle driver."""
+
+from .driver import Driver
+from .sessions import ConnectionSource
+from .spec import (
+    ClosedLoopSource,
+    MixEntry,
+    OpenLoopSource,
+    PeriodicOp,
+    ScheduledOp,
+    Workload,
+)
+
+__all__ = [
+    "ClosedLoopSource",
+    "ConnectionSource",
+    "Driver",
+    "MixEntry",
+    "OpenLoopSource",
+    "PeriodicOp",
+    "ScheduledOp",
+    "Workload",
+]

@@ -1,0 +1,161 @@
+"""Workload driver: request lifecycle with cancellation and re-execution.
+
+The driver plays the role of the benchmark clients (sysbench, Rally, ...)
+plus the application's connection layer: it submits operations as
+open-loop arrivals, runs each through the controller's admission hook,
+registers a cancellable task, executes the application handler, and
+handles the three unwind paths -- completion, controller drop, and
+cancellation (with the controller's re-execution gate deciding retry vs
+drop).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from ..core.controller import BaseController
+from ..core.types import CancelSignal, DropRequest, DropSignal, TaskKind
+from ..sim.errors import Interrupt
+from ..sim.metrics import MetricsCollector, RequestRecord, RequestStatus
+from .spec import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..apps.base import Application, Operation
+    from ..sim.environment import Environment
+
+
+class Driver:
+    """Drives one application with one workload under one controller."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        app: "Application",
+        controller: BaseController,
+        collector: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.env = env
+        self.app = app
+        self.controller = controller
+        self.collector = collector or MetricsCollector()
+        self._req_seq = count(1)
+        #: Requests currently in flight (for diagnostics).
+        self.inflight = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, op: "Operation", client_id: str = "client") -> None:
+        """Submit one request now (spawns its process)."""
+        self.env.process(self._request(op, client_id))
+
+    def submit_and_wait(self, op: "Operation", client_id: str = "client"):
+        """Submit one request; returns its process (an event to join).
+
+        Used by closed-loop clients that block until their request
+        reaches a terminal outcome.
+        """
+        return self.env.process(self._request(op, client_id))
+
+    def run_workload(self, workload: Workload) -> None:
+        """Start all of a workload's arrival processes."""
+        for generator in workload.processes(self):
+            self.env.process(generator)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        request_id: int,
+        op: "Operation",
+        client_id: str,
+        arrival: float,
+        status: RequestStatus,
+        retries: int,
+    ) -> None:
+        record = RequestRecord(
+            request_id=request_id,
+            op_name=op.name,
+            client_id=client_id,
+            arrival_time=arrival,
+            finish_time=self.env.now,
+            status=status,
+            retries=retries,
+        )
+        self.collector.record(record)
+        self.controller.observe_completion(record)
+
+    def _request(self, op: "Operation", client_id: str):
+        env = self.env
+        controller = self.controller
+        request_id = next(self._req_seq)
+        arrival = env.now
+        self.collector.note_offered()
+        self.inflight += 1
+        retries = 0
+        try:
+            while True:
+                if not controller.admit(op.name, client_id):
+                    self._record(
+                        request_id, op, client_id, arrival,
+                        RequestStatus.DROPPED, retries,
+                    )
+                    return
+                task = controller.create_cancel(
+                    kind=op.kind,
+                    client_id=client_id,
+                    op_name=op.name,
+                    cancellable=op.cancellable,
+                )
+                if retries > 0:
+                    # Fairness (§4): a re-executed task is exempt from
+                    # further cancellations.
+                    task.mark_non_cancellable()
+                try:
+                    yield from self.app.execute(task, op)
+                except DropRequest:
+                    controller.free_cancel(task)
+                    self._record(
+                        request_id, op, client_id, arrival,
+                        RequestStatus.DROPPED, retries,
+                    )
+                    return
+                except Interrupt as exc:
+                    controller.free_cancel(task)
+                    if isinstance(exc.cause, DropSignal):
+                        # Victim drop (Protego-style): terminal, no retry.
+                        self._record(
+                            request_id, op, client_id, arrival,
+                            RequestStatus.DROPPED, retries,
+                        )
+                        return
+                    if not isinstance(exc.cause, CancelSignal):
+                        # Unknown interrupt cause: a bug in the model, not
+                        # an overload-control action.  Escalate loudly
+                        # (bare Interrupts are auto-defused by the kernel).
+                        raise RuntimeError(
+                            "request interrupted with unknown cause "
+                            f"{exc.cause!r}"
+                        ) from exc
+                    retries += 1
+                    decision = yield from controller.reexecution_gate(
+                        task, arrival
+                    )
+                    if decision == "drop":
+                        self._record(
+                            request_id, op, client_id, arrival,
+                            RequestStatus.CANCELLED, retries,
+                        )
+                        return
+                    continue  # re-execute
+                else:
+                    controller.free_cancel(task)
+                    self._record(
+                        request_id, op, client_id, arrival,
+                        RequestStatus.COMPLETED, retries,
+                    )
+                    return
+        finally:
+            self.inflight -= 1

@@ -1,0 +1,159 @@
+"""Workload specifications: arrival processes and operation mixes.
+
+A :class:`Workload` is a set of arrival sources: open-loop Poisson
+streams of a weighted operation mix (the sysbench-style foreground load)
+plus scheduled one-shot operations (the culprit triggers of each case,
+e.g. "launch a backup query at t = 20 s").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..apps.base import Operation
+    from .driver import Driver
+
+#: Factory producing a fresh Operation per arrival (so per-request params
+#: can be randomized without sharing state between requests).
+OperationFactory = Callable[[], "Operation"]
+
+
+@dataclass
+class MixEntry:
+    """One operation class within an open-loop mix."""
+
+    factory: OperationFactory
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+@dataclass
+class OpenLoopSource:
+    """Poisson arrivals of a weighted operation mix."""
+
+    rate: float  # arrivals per second
+    mix: List[MixEntry]
+    client_id: str = "client"
+    start_time: float = 0.0
+    stop_time: Optional[float] = None
+    rng_stream: str = "arrivals"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if not self.mix:
+            raise ValueError("mix must not be empty")
+
+    def process(self, driver: "Driver"):
+        env = driver.env
+        rng = driver.app.rng.fork(f"{self.rng_stream}:{self.client_id}")
+        weights = [m.weight for m in self.mix]
+        if self.start_time > 0:
+            yield env.timeout(self.start_time)
+        while self.stop_time is None or env.now < self.stop_time:
+            yield env.timeout(rng.exponential(1.0 / self.rate))
+            if self.stop_time is not None and env.now >= self.stop_time:
+                break
+            entry = rng.weighted_choice(self.mix, weights)
+            driver.submit(entry.factory(), client_id=self.client_id)
+
+
+@dataclass
+class ScheduledOp:
+    """A one-shot operation fired at a fixed time (culprit triggers)."""
+
+    at: float
+    factory: OperationFactory
+    client_id: str = "trigger"
+
+    def process(self, driver: "Driver"):
+        yield driver.env.timeout(self.at)
+        driver.submit(self.factory(), client_id=self.client_id)
+
+
+@dataclass
+class PeriodicOp:
+    """An operation fired on a fixed period (background tasks, crons)."""
+
+    period: float
+    factory: OperationFactory
+    client_id: str = "background"
+    start_time: float = 0.0
+    stop_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def process(self, driver: "Driver"):
+        env = driver.env
+        if self.start_time > 0:
+            yield env.timeout(self.start_time)
+        while self.stop_time is None or env.now < self.stop_time:
+            driver.submit(self.factory(), client_id=self.client_id)
+            yield env.timeout(self.period)
+
+
+@dataclass
+class ClosedLoopSource:
+    """A fixed population of clients in a request/think loop.
+
+    Unlike the open-loop sources, a closed loop self-throttles under
+    overload: a blocked client submits nothing until its previous request
+    resolves -- the classic benchmark-client model (sysbench threads).
+    """
+
+    clients: int
+    mix: List[MixEntry]
+    think_time: float = 0.0
+    client_prefix: str = "closed"
+    start_time: float = 0.0
+    stop_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0:
+            raise ValueError("clients must be positive")
+        if self.think_time < 0:
+            raise ValueError("think_time must be non-negative")
+        if not self.mix:
+            raise ValueError("mix must not be empty")
+
+    def process(self, driver: "Driver"):
+        # Spawn one loop per client; this generator just sets them up.
+        for i in range(self.clients):
+            driver.env.process(self._client_loop(driver, i))
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _client_loop(self, driver: "Driver", index: int):
+        env = driver.env
+        client_id = f"{self.client_prefix}-{index}"
+        rng = driver.app.rng.fork(f"closed:{client_id}")
+        weights = [m.weight for m in self.mix]
+        if self.start_time > 0:
+            yield env.timeout(self.start_time)
+        while self.stop_time is None or env.now < self.stop_time:
+            entry = rng.weighted_choice(self.mix, weights)
+            done = driver.submit_and_wait(entry.factory(), client_id)
+            yield done
+            if self.think_time > 0:
+                yield env.timeout(rng.exponential(self.think_time))
+
+
+@dataclass
+class Workload:
+    """A full workload: any combination of sources."""
+
+    sources: List[object] = field(default_factory=list)
+
+    def add(self, source) -> "Workload":
+        self.sources.append(source)
+        return self
+
+    def processes(self, driver: "Driver"):
+        return [source.process(driver) for source in self.sources]

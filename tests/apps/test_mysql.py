@@ -1,0 +1,382 @@
+"""Integration tests for the simulated MySQL model.
+
+These validate the contention dynamics behind the paper's MySQL cases:
+buffer-pool thrashing (c5), the backup-lock convoy (c1), the undo-log
+convoy (c3), InnoDB queue monopolization (c2), and SELECT FOR UPDATE
+blocking (c4) -- first uncontrolled, then with ATROPOS cancelling the
+culprit.
+"""
+
+import pytest
+
+from repro.apps.mysql import MySQL, MySQLConfig, light_mix
+from repro.core import Atropos, AtroposConfig, NullController
+from repro.experiments import run_simulation
+from repro.workloads import OpenLoopSource, ScheduledOp, Workload
+
+
+def mysql_factory(config=None):
+    def build(env, controller, rng):
+        return MySQL(env, controller, rng, config=config)
+
+    return build
+
+
+def light_workload(rate=200.0, **kwargs):
+    def build(app, rng):
+        return Workload(
+            [OpenLoopSource(rate=rate, mix=light_mix(rng), **kwargs)]
+        )
+
+    return build
+
+
+def windowed_throughput(result, t0, t1):
+    """Completions per second finishing within [t0, t1)."""
+    done = [
+        r
+        for r in result.collector.records
+        if r.completed and t0 <= r.finish_time < t1
+    ]
+    return len(done) / (t1 - t0)
+
+
+def atropos_factory(**overrides):
+    def build(env):
+        settings = dict(
+            slo_latency=0.05,
+            detection_period=0.2,
+            cancel_cooldown=0.3,
+            min_window_samples=10,
+        )
+        settings.update(overrides)
+        return Atropos(env, AtroposConfig(**settings))
+
+    return build
+
+
+class TestBaseline:
+    def test_light_load_completes_with_low_latency(self):
+        result = run_simulation(
+            mysql_factory(),
+            light_workload(rate=200.0),
+            duration=5.0,
+            warmup=1.0,
+        )
+        assert result.summary.completed > 500
+        assert result.drop_rate == 0.0
+        assert result.p99_latency < 0.05
+
+    def test_throughput_tracks_offered_load_below_capacity(self):
+        low = run_simulation(
+            mysql_factory(), light_workload(rate=100.0), duration=5.0
+        )
+        high = run_simulation(
+            mysql_factory(), light_workload(rate=400.0), duration=5.0
+        )
+        assert high.throughput > low.throughput * 3
+
+    def test_hot_set_warms_up(self):
+        result = run_simulation(
+            mysql_factory(), light_workload(rate=300.0), duration=5.0
+        )
+        app = result.app
+        assert app.buffer_pool.resident_pages("hot-set") > 1000
+
+    def test_deterministic_per_seed(self):
+        a = run_simulation(
+            mysql_factory(), light_workload(rate=200.0), duration=3.0, seed=7
+        )
+        b = run_simulation(
+            mysql_factory(), light_workload(rate=200.0), duration=3.0, seed=7
+        )
+        assert a.summary == b.summary
+
+
+class TestBufferPoolOverload:
+    """Case c5 / Figure 2: dump queries trash the buffer pool."""
+
+    def workload_with_dump(self, rate=300.0, dump_at=2.0):
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(rate=rate, mix=light_mix(rng)),
+                    ScheduledOp(
+                        at=dump_at,
+                        factory=lambda: __import__(
+                            "repro.apps.base", fromlist=["Operation"]
+                        ).Operation("dump", {}),
+                    ),
+                ]
+            )
+
+        return build
+
+    def test_dump_degrades_light_latency(self):
+        clean = run_simulation(
+            mysql_factory(), light_workload(rate=300.0), duration=8.0,
+            warmup=2.0,
+        )
+        dumped = run_simulation(
+            mysql_factory(),
+            self.workload_with_dump(rate=300.0, dump_at=2.0),
+            duration=8.0,
+            warmup=2.0,
+        )
+        assert dumped.p99_latency > clean.p99_latency * 2
+
+    def test_atropos_cancels_dump_and_recovers(self):
+        uncontrolled = run_simulation(
+            mysql_factory(),
+            self.workload_with_dump(rate=300.0, dump_at=2.0),
+            duration=8.0,
+            warmup=2.0,
+        )
+        controlled = run_simulation(
+            mysql_factory(),
+            self.workload_with_dump(rate=300.0, dump_at=2.0),
+            controller_factory=atropos_factory(),
+            duration=8.0,
+            warmup=2.0,
+        )
+        assert controlled.controller.cancels_issued >= 1
+        assert controlled.p99_latency < uncontrolled.p99_latency
+        # Only the culprit should be affected: drop rate stays tiny.
+        assert controlled.drop_rate < 0.02
+
+
+class TestBackupLockConvoy:
+    """Case c1 / Figure 3: backup + scan convoy blocks all writers."""
+
+    def convoy_workload(self, rate=300.0, scans=(2.0,), backup_at=3.0):
+        from repro.apps.base import Operation
+
+        def build(app, rng):
+            sources = [OpenLoopSource(rate=rate, mix=light_mix(rng))]
+            for at in scans:
+                sources.append(
+                    ScheduledOp(
+                        at=at,
+                        factory=lambda: Operation(
+                            "scan", {"table": 0, "rows": 1.2e6}
+                        ),
+                    )
+                )
+            if backup_at is not None:
+                sources.append(
+                    ScheduledOp(
+                        at=backup_at, factory=lambda: Operation("backup", {})
+                    )
+                )
+            return Workload(sources)
+
+        return build
+
+    def test_convoy_collapses_throughput(self):
+        clean = run_simulation(
+            mysql_factory(),
+            self.convoy_workload(backup_at=None, scans=()),
+            duration=10.0,
+            warmup=2.0,
+        )
+        convoy = run_simulation(
+            mysql_factory(),
+            self.convoy_workload(),
+            duration=10.0,
+            warmup=2.0,
+        )
+        assert convoy.throughput < clean.throughput * 0.8
+        assert convoy.p99_latency > clean.p99_latency * 10
+
+    def test_scan_only_does_not_collapse(self):
+        """Without the backup, a shared scan coexists with the mix."""
+        scan_only = run_simulation(
+            mysql_factory(),
+            self.convoy_workload(backup_at=None),
+            duration=10.0,
+            warmup=2.0,
+        )
+        assert scan_only.p99_latency < 0.5
+
+    def test_atropos_restores_throughput(self):
+        convoy = run_simulation(
+            mysql_factory(),
+            self.convoy_workload(),
+            duration=10.0,
+            warmup=2.0,
+        )
+        controlled = run_simulation(
+            mysql_factory(),
+            self.convoy_workload(),
+            controller_factory=atropos_factory(),
+            duration=10.0,
+            warmup=2.0,
+        )
+        assert controlled.controller.cancels_issued >= 1
+        assert controlled.throughput > convoy.throughput
+        assert controlled.p99_latency < convoy.p99_latency
+        assert controlled.drop_rate < 0.02
+
+
+class TestInnodbQueueOverload:
+    """Case c2: slow queries monopolize the InnoDB admission queue."""
+
+    def slow_workload(self, rate=300.0, slow_rate=3.5):
+        from repro.apps.base import Operation
+
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(rate=rate, mix=light_mix(rng)),
+                    OpenLoopSource(
+                        rate=slow_rate,
+                        mix=[
+                            __import__(
+                                "repro.workloads.spec", fromlist=["MixEntry"]
+                            ).MixEntry(
+                                factory=lambda: Operation(
+                                    "slow_query", {"duration": 3.0}
+                                ),
+                                weight=1.0,
+                            )
+                        ],
+                        client_id="analytics",
+                        start_time=2.0,
+                    ),
+                ]
+            )
+
+        return build
+
+    def test_slow_queries_inflate_queue_wait(self):
+        clean = run_simulation(
+            mysql_factory(), light_workload(rate=300.0), duration=10.0,
+            warmup=2.0,
+        )
+        slowed = run_simulation(
+            mysql_factory(), self.slow_workload(), duration=10.0, warmup=2.0
+        )
+        assert slowed.p99_latency > clean.p99_latency * 3
+
+    def test_atropos_cancels_slow_queries(self):
+        slowed = run_simulation(
+            mysql_factory(), self.slow_workload(), duration=10.0, warmup=2.0
+        )
+        controlled = run_simulation(
+            mysql_factory(),
+            self.slow_workload(),
+            controller_factory=atropos_factory(),
+            duration=10.0,
+            warmup=2.0,
+        )
+        assert controlled.controller.cancels_issued >= 1
+        assert controlled.p99_latency < slowed.p99_latency
+
+
+class TestUndoLogConvoy:
+    """Case c3: long transaction blocks purge; purge convoys writers."""
+
+    def undo_workload(self, rate=250.0):
+        from repro.apps.base import Operation
+        from repro.core.types import TaskKind
+        from repro.workloads.spec import PeriodicOp
+
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(rate=rate, mix=light_mix(rng, select_weight=0.2)),
+                    ScheduledOp(
+                        at=2.0,
+                        factory=lambda: Operation(
+                            "long_transaction", {"duration": 8.0}
+                        ),
+                    ),
+                    PeriodicOp(
+                        period=1.0,
+                        factory=lambda: Operation(
+                            "purge", {}, kind=TaskKind.BACKGROUND
+                        ),
+                        start_time=2.5,
+                    ),
+                ]
+            )
+
+        return build
+
+    def test_convoy_blocks_updates(self):
+        clean = run_simulation(
+            mysql_factory(), light_workload(rate=250.0), duration=13.0,
+            warmup=2.0,
+        )
+        # Run past the long transaction's lifetime (ends at t=10) so the
+        # convoyed updates complete and their latencies become visible.
+        convoy = run_simulation(
+            mysql_factory(), self.undo_workload(), duration=13.0, warmup=2.0
+        )
+        # Throughput collapses *during* the convoy (t in [4, 10)) even
+        # though deferred completions recover the total count afterwards.
+        during = windowed_throughput(convoy, 4.0, 10.0)
+        clean_during = windowed_throughput(clean, 4.0, 10.0)
+        assert during < clean_during * 0.5
+        assert convoy.p99_latency > clean.p99_latency * 5
+
+    def test_atropos_cancels_long_transaction(self):
+        controlled = run_simulation(
+            mysql_factory(),
+            self.undo_workload(),
+            controller_factory=atropos_factory(),
+            duration=10.0,
+            warmup=2.0,
+        )
+        assert controlled.controller.cancels_issued >= 1
+        cancelled_ops = [
+            e.op_name for e in controlled.controller.cancellation.log
+        ]
+        assert "long_transaction" in cancelled_ops
+
+
+class TestSelectForUpdate:
+    """Case c4: SELECT FOR UPDATE blocks inserts on the same table."""
+
+    def sfu_workload(self, rate=250.0):
+        from repro.apps.base import Operation
+
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(rate=rate, mix=light_mix(rng, select_weight=0.3)),
+                    ScheduledOp(
+                        at=2.0,
+                        factory=lambda: Operation(
+                            "select_for_update",
+                            {"table": 0, "rows": 1.5e6},
+                        ),
+                    ),
+                ]
+            )
+
+        return build
+
+    def test_blocks_same_table_writers(self):
+        clean = run_simulation(
+            mysql_factory(), light_workload(rate=250.0), duration=10.0,
+            warmup=2.0,
+        )
+        blocked = run_simulation(
+            mysql_factory(), self.sfu_workload(), duration=10.0, warmup=2.0
+        )
+        assert blocked.p99_latency > clean.p99_latency * 5
+
+    def test_atropos_cancels_culprit(self):
+        controlled = run_simulation(
+            mysql_factory(),
+            self.sfu_workload(),
+            controller_factory=atropos_factory(),
+            duration=10.0,
+            warmup=2.0,
+        )
+        assert controlled.controller.cancels_issued >= 1
+        cancelled_ops = [
+            e.op_name for e in controlled.controller.cancellation.log
+        ]
+        assert "select_for_update" in cancelled_ops

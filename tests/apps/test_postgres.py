@@ -1,0 +1,190 @@
+"""Integration tests for the simulated PostgreSQL model (cases c6-c8)."""
+
+import pytest
+
+from repro.apps.base import Operation
+from repro.apps.postgres import PostgreSQL, PostgresConfig
+from repro.cases.postgres_cases import pg_mix
+from repro.core import Atropos, AtroposConfig, TaskKind
+from repro.experiments import run_simulation
+from repro.workloads import (
+    MixEntry,
+    OpenLoopSource,
+    PeriodicOp,
+    ScheduledOp,
+    Workload,
+)
+
+
+def pg_factory(config=None):
+    def build(env, controller, rng):
+        return PostgreSQL(env, controller, rng, config=config)
+
+    return build
+
+
+def light_workload(rate=250.0):
+    def build(app, rng):
+        return Workload([OpenLoopSource(rate=rate, mix=pg_mix(rng))])
+
+    return build
+
+
+def atropos_factory(slo=0.02):
+    def build(env):
+        return Atropos(env, AtroposConfig(slo_latency=slo))
+
+    return build
+
+
+class TestBaseline:
+    def test_light_load_is_healthy(self):
+        result = run_simulation(
+            pg_factory(), light_workload(), duration=6.0, warmup=1.0
+        )
+        assert result.drop_rate == 0.0
+        assert result.p99_latency < 0.03
+
+    def test_wal_pending_stays_bounded_with_flushes(self):
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(
+                        rate=250.0, mix=pg_mix(rng, select_weight=0.2)
+                    ),
+                    PeriodicOp(
+                        period=0.5,
+                        factory=lambda: Operation(
+                            "wal_flush", {}, kind=TaskKind.BACKGROUND
+                        ),
+                    ),
+                ]
+            )
+
+        result = run_simulation(pg_factory(), build, duration=6.0)
+        assert result.app.wal_pending < 5e6
+
+
+class TestMvccBloat:
+    def bloat_workload(self):
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(rate=250.0, mix=pg_mix(rng)),
+                    ScheduledOp(
+                        at=1.0,
+                        factory=lambda: Operation(
+                            "bulk_update", {"table": 0, "rows": 2e6}
+                        ),
+                    ),
+                ]
+            )
+
+        return build
+
+    def test_bulk_update_accumulates_dead_tuples(self):
+        result = run_simulation(
+            pg_factory(), self.bloat_workload(), duration=6.0
+        )
+        assert result.app.dead_tuples[0] > 1e5
+
+    def test_readers_slow_down_with_bloat(self):
+        clean = run_simulation(
+            pg_factory(), light_workload(), duration=8.0, warmup=2.0
+        )
+        bloated = run_simulation(
+            pg_factory(), self.bloat_workload(), duration=8.0, warmup=2.0
+        )
+        assert bloated.p99_latency > clean.p99_latency * 3
+
+    def test_cancelled_bulk_update_rolls_back_bloat(self):
+        result = run_simulation(
+            pg_factory(),
+            self.bloat_workload(),
+            controller_factory=atropos_factory(),
+            duration=8.0,
+            warmup=2.0,
+        )
+        assert result.controller.cancels_issued >= 1
+        cancelled = {e.op_name for e in result.controller.cancellation.log}
+        assert "bulk_update" in cancelled
+        # Rollback reclaimed the aborted transaction's versions.
+        assert result.app.dead_tuples[0] < 1e5
+
+
+class TestVacuumIO:
+    def vacuum_workload(self):
+        config = PostgresConfig(
+            disk_queue_depth=1, read_io_fraction=0.5, vacuum_chunk_bytes=8e6
+        )
+
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(
+                        rate=250.0, mix=pg_mix(rng, select_weight=0.85)
+                    ),
+                    ScheduledOp(
+                        at=1.0,
+                        factory=lambda: Operation(
+                            "vacuum",
+                            {"total_bytes": 600e6},
+                            kind=TaskKind.BACKGROUND,
+                        ),
+                    ),
+                ]
+            )
+
+        return config, build
+
+    def test_vacuum_slows_reads(self):
+        config, build = self.vacuum_workload()
+        clean = run_simulation(
+            pg_factory(config), light_workload(), duration=8.0, warmup=2.0
+        )
+        vacuumed = run_simulation(
+            pg_factory(config), build, duration=8.0, warmup=2.0
+        )
+        assert vacuumed.p99_latency > clean.p99_latency * 3
+
+    def test_atropos_cancels_vacuum(self):
+        config, build = self.vacuum_workload()
+        result = run_simulation(
+            pg_factory(config),
+            build,
+            controller_factory=atropos_factory(),
+            duration=8.0,
+            warmup=2.0,
+        )
+        cancelled = {e.op_name for e in result.controller.cancellation.log}
+        assert "vacuum" in cancelled
+
+
+class TestWalConvoy:
+    def test_flush_convoy_blocks_writers(self):
+        def build(app, rng):
+            return Workload(
+                [
+                    OpenLoopSource(
+                        rate=250.0, mix=pg_mix(rng, select_weight=0.3)
+                    ),
+                    PeriodicOp(
+                        period=0.5,
+                        factory=lambda: Operation(
+                            "wal_flush", {}, kind=TaskKind.BACKGROUND
+                        ),
+                    ),
+                    ScheduledOp(
+                        at=1.0,
+                        factory=lambda: Operation(
+                            "bulk_update", {"table": 1, "rows": 1.5e6}
+                        ),
+                    ),
+                ]
+            )
+
+        clean = run_simulation(
+            pg_factory(), light_workload(), duration=8.0, warmup=2.0
+        )
+        convoy = run_simulation(pg_factory(), build, duration=8.0, warmup=2.0)
+        assert convoy.p99_latency > clean.p99_latency * 5

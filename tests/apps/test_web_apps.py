@@ -1,0 +1,234 @@
+"""Integration tests for the Apache, Solr, and etcd models."""
+
+import pytest
+
+from repro.apps.apache import Apache, ApacheConfig
+from repro.apps.base import Operation
+from repro.apps.etcd import Etcd
+from repro.apps.solr import Solr
+from repro.core import Atropos, AtroposConfig
+from repro.experiments import run_simulation
+from repro.sim import RequestStatus
+from repro.workloads import MixEntry, OpenLoopSource, ScheduledOp, Workload
+
+
+def single_op_workload(op_name, rate, params=None, extra=None):
+    def build(app, rng):
+        sources = [
+            OpenLoopSource(
+                rate=rate,
+                mix=[
+                    MixEntry(
+                        factory=lambda: Operation(op_name, dict(params or {})),
+                        weight=1.0,
+                    )
+                ],
+            )
+        ]
+        if extra:
+            sources.extend(extra)
+        return Workload(sources)
+
+    return build
+
+
+def atropos_factory(slo=0.02):
+    def build(env):
+        return Atropos(env, AtroposConfig(slo_latency=slo))
+
+    return build
+
+
+class TestApache:
+    def factory(self, **kwargs):
+        def build(env, controller, rng):
+            return Apache(env, controller, rng, config=ApacheConfig(**kwargs))
+
+        return build
+
+    def test_static_requests_fast_under_light_load(self):
+        result = run_simulation(
+            self.factory(),
+            single_op_workload("static", 400.0),
+            duration=5.0,
+            warmup=1.0,
+        )
+        assert result.p99_latency < 0.01
+        assert result.drop_rate == 0.0
+
+    def test_php_flood_starves_statics(self):
+        extra = [
+            OpenLoopSource(
+                rate=5.0,
+                mix=[
+                    MixEntry(
+                        factory=lambda: Operation(
+                            "php_script", {"duration": 4.0}
+                        ),
+                        weight=1.0,
+                    )
+                ],
+                client_id="php",
+                start_time=1.0,
+            )
+        ]
+        result = run_simulation(
+            self.factory(),
+            single_op_workload("static", 400.0, extra=extra),
+            duration=10.0,
+            warmup=2.0,
+        )
+        assert result.p99_latency > 0.1
+
+    def test_accept_queue_overflow_becomes_503(self):
+        """A tiny queue drops excess requests instead of crashing."""
+        result = run_simulation(
+            self.factory(max_clients=2, accept_queue=4),
+            single_op_workload("php_script", 30.0, params={"duration": 1.0}),
+            duration=5.0,
+        )
+        counts = result.collector.status_counts()
+        assert counts[RequestStatus.DROPPED] > 0
+
+
+class TestSolr:
+    def factory(self):
+        def build(env, controller, rng):
+            return Solr(env, controller, rng)
+
+        return build
+
+    def test_queries_healthy_baseline(self):
+        result = run_simulation(
+            self.factory(),
+            single_op_workload("query", 400.0),
+            duration=5.0,
+            warmup=1.0,
+        )
+        assert result.p99_latency < 0.02
+
+    def test_boolean_query_convoys_on_index_lock(self):
+        extra = [
+            ScheduledOp(
+                at=1.0,
+                factory=lambda: Operation("boolean_query", {"duration": 4.0}),
+            )
+        ]
+        result = run_simulation(
+            self.factory(),
+            single_op_workload("query", 400.0, extra=extra),
+            duration=8.0,
+            warmup=2.0,
+        )
+        assert result.p99_latency > 0.5
+
+    def test_atropos_cancels_boolean_query(self):
+        extra = [
+            ScheduledOp(
+                at=1.0,
+                factory=lambda: Operation("boolean_query", {"duration": 4.0}),
+            )
+        ]
+        result = run_simulation(
+            self.factory(),
+            single_op_workload("query", 400.0, extra=extra),
+            controller_factory=atropos_factory(),
+            duration=8.0,
+            warmup=2.0,
+        )
+        cancelled = {e.op_name for e in result.controller.cancellation.log}
+        assert "boolean_query" in cancelled
+        assert result.p99_latency < 0.2
+
+    def test_range_queries_occupy_searcher_pool(self):
+        extra = [
+            OpenLoopSource(
+                rate=4.0,
+                mix=[
+                    MixEntry(
+                        factory=lambda: Operation(
+                            "range_query", {"duration": 3.0}
+                        ),
+                        weight=1.0,
+                    )
+                ],
+                client_id="range",
+                start_time=1.0,
+            )
+        ]
+        result = run_simulation(
+            self.factory(),
+            single_op_workload("query", 400.0, extra=extra),
+            duration=8.0,
+            warmup=2.0,
+        )
+        assert result.p99_latency > 0.05
+
+
+class TestEtcd:
+    def factory(self):
+        def build(env, controller, rng):
+            return Etcd(env, controller, rng)
+
+        return build
+
+    def mixed_workload(self, extra=None):
+        def build(app, rng):
+            sources = [
+                OpenLoopSource(
+                    rate=250.0,
+                    mix=[
+                        MixEntry(
+                            factory=lambda: Operation("get", {}), weight=0.75
+                        ),
+                        MixEntry(
+                            factory=lambda: Operation("put", {}), weight=0.25
+                        ),
+                    ],
+                )
+            ]
+            if extra:
+                sources.extend(extra)
+            return Workload(sources)
+
+        return build
+
+    def test_mixed_load_healthy(self):
+        result = run_simulation(
+            self.factory(), self.mixed_workload(), duration=5.0, warmup=1.0
+        )
+        assert result.p99_latency < 0.05
+        assert result.drop_rate == 0.0
+
+    def test_range_read_convoys_writers(self):
+        extra = [
+            ScheduledOp(
+                at=1.0,
+                factory=lambda: Operation("range_read", {"duration": 4.0}),
+            )
+        ]
+        result = run_simulation(
+            self.factory(),
+            self.mixed_workload(extra),
+            duration=8.0,
+            warmup=2.0,
+        )
+        assert result.p99_latency > 0.5
+
+    def test_atropos_cancels_range_read(self):
+        extra = [
+            ScheduledOp(
+                at=1.0,
+                factory=lambda: Operation("range_read", {"duration": 4.0}),
+            )
+        ]
+        result = run_simulation(
+            self.factory(),
+            self.mixed_workload(extra),
+            controller_factory=atropos_factory(slo=0.03),
+            duration=8.0,
+            warmup=2.0,
+        )
+        cancelled = {e.op_name for e in result.controller.cancellation.log}
+        assert "range_read" in cancelled
+        assert result.p99_latency < 0.2

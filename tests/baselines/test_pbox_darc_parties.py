@@ -1,0 +1,171 @@
+"""Tests for the pBox, DARC, PARTIES, and SEDA baselines."""
+
+import pytest
+
+from repro.baselines import DARC, Parties, PBox, Seda, controller_factory
+from repro.cases import get_case
+from repro.core import ResourceType
+from repro.sim import Environment, RequestRecord, RequestStatus
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPBox:
+    def test_penalty_applied_and_expires(self, env):
+        p = PBox(env, penalty_delay=0.05, penalty_duration=0.5)
+        task = p.create_cancel()
+        p._penalized[id(task)] = env.now + 0.5
+        assert p.throttle_delay(task) == 0.05
+        env.run(until=1.0)
+        assert p.throttle_delay(task) == 0.0
+        assert id(task) not in p._penalized
+
+    def test_penalizes_top_consumer_of_overloaded_resource(self, env):
+        p = PBox(env, contention_threshold=0.1)
+        mem = p.register_resource("pool", ResourceType.MEMORY)
+        hog = p.create_cancel()
+        small = p.create_cancel()
+        p.runtime.task_started(hog)
+        env.run(until=1.0)
+        p.get_resource(hog, mem, 1000)
+        p.get_resource(small, mem, 10)
+        p.slow_by_resource(hog, mem, 0.9, events=900)
+        p._maybe_penalize()
+        assert p.throttle_delay(hog) > 0
+        assert p.throttle_delay(small) == 0.0
+
+    def test_never_drops(self):
+        case = get_case("c5")
+        pbox = case.run(
+            controller_factory=controller_factory("pbox", case.slo_latency)
+        )
+        counts = pbox.collector.status_counts()
+        assert counts[RequestStatus.CANCELLED] == 0
+
+    def test_partial_mitigation_on_c5(self):
+        """pBox throttles the dump but cannot free held pages."""
+        case = get_case("c5")
+        overload = case.run()
+        pbox = case.run(
+            controller_factory=controller_factory("pbox", case.slo_latency)
+        )
+        atropos = case.run(
+            controller_factory=controller_factory("atropos", case.slo_latency)
+        )
+        assert pbox.p99_latency <= overload.p99_latency
+        assert atropos.p99_latency < pbox.p99_latency
+
+
+class TestDARC:
+    def test_reserves_workers_on_bind(self, env):
+        from repro.apps.mysql import MySQL
+        from repro.sim import Rng
+
+        darc = DARC(env, reserved_fraction=0.5)
+        app = MySQL(env, darc, Rng(0))
+        darc.bind(app)
+        reserved = sum(
+            n
+            for group, n in app.innodb_queue._reservations.items()
+            if "light" in group
+        )
+        assert reserved >= app.innodb_queue.workers // 2
+
+    def test_invalid_fraction_rejected(self, env):
+        with pytest.raises(ValueError):
+            DARC(env, reserved_fraction=1.5)
+
+    def test_keeps_lights_flowing_in_c2(self):
+        """Reserved workers shield light queries from slow-query floods."""
+        case = get_case("c2")
+        overload = case.run()
+        darc = case.run(controller_factory=controller_factory("darc"))
+
+        def light_p99(result):
+            lats = [
+                r.latency
+                for r in result.collector.records
+                if r.completed and r.op_name in ("point_select", "row_update")
+            ]
+            lats.sort()
+            return lats[int(len(lats) * 0.99)] if lats else float("nan")
+
+        assert light_p99(darc) < light_p99(overload) / 2
+
+    def test_cannot_fix_lock_convoy_c4(self):
+        """Worker reservations do not release a held table lock."""
+        case = get_case("c4")
+        overload = case.run()
+        darc = case.run(controller_factory=controller_factory("darc"))
+        assert darc.p99_latency > overload.p99_latency * 0.2
+
+
+class TestParties:
+    def test_admission_respects_limits(self, env):
+        p = Parties(env, initial_limit=2)
+        assert p.admit("op", "c1")
+        p.create_cancel(client_id="c1")
+        p.create_cancel(client_id="c1")
+        assert not p.admit("op", "c1")
+        assert p.admit("op", "c2")
+
+    def test_violation_shrinks_heaviest_client(self, env):
+        p = Parties(env, slo_latency=0.01, adjust_period=0.1, initial_limit=8)
+        p.start()
+        task = p.create_cancel(client_id="greedy")
+        p.observe_completion(
+            RequestRecord(1, "op", "victim", 0.0, 0.0, RequestStatus.COMPLETED)
+        )
+        # Feed SLO-violating completions.
+        for i in range(20):
+            p.observe_completion(
+                RequestRecord(
+                    i, "op", "victim", 0.0, 0.001 * i, RequestStatus.COMPLETED
+                )
+            )
+        env.run(until=0.25)
+        assert p.limits["greedy"] < 8
+
+    def test_healthy_restores_limits(self, env):
+        p = Parties(env, slo_latency=10.0, adjust_period=0.1, initial_limit=8)
+        p.limits["c"] = 2
+        p.start()
+        env.run(until=0.55)
+        assert p.limits["c"] > 2
+
+    def test_rejections_counted_in_c2(self):
+        case = get_case("c2")
+        parties = case.run(
+            controller_factory=controller_factory("parties", case.slo_latency)
+        )
+        # PARTIES throttles the analytics client at admission.
+        assert parties.drop_rate > 0.0
+
+
+class TestSeda:
+    def test_rate_decreases_on_violation(self, env):
+        s = Seda(env, slo_latency=0.01, adjust_period=0.1, initial_rate=100.0)
+        s.start()
+        for i in range(20):
+            s.observe_completion(
+                RequestRecord(
+                    i, "op", "c", 0.0, 0.001 * i, RequestStatus.COMPLETED
+                )
+            )
+        env.run(until=0.15)
+        assert s.rate < 100.0
+
+    def test_rate_recovers_when_healthy(self, env):
+        s = Seda(env, slo_latency=10.0, adjust_period=0.1, initial_rate=100.0)
+        s.start()
+        env.run(until=0.55)
+        assert s.rate > 100.0
+
+    def test_tokens_limit_admission(self, env):
+        s = Seda(env, initial_rate=10.0, adjust_period=0.1)
+        admitted = sum(1 for _ in range(100) if s.admit("op", "c"))
+        assert admitted < 100
+        assert s.rejections > 0

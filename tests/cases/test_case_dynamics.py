@@ -1,0 +1,64 @@
+"""End-to-end dynamics of every reproduced case.
+
+For each of the 16 cases: (a) the culprit degrades p99 versus the
+non-overloaded baseline, and (b) ATROPOS restores performance -- high
+normalized throughput, p99 far below the uncontrolled run, minimal drops
+-- by cancelling a culprit operation.
+
+These are the repository's core acceptance tests; they run all 16 cases
+three times each and take a couple of minutes.
+"""
+
+import pytest
+
+from repro.baselines import controller_factory
+from repro.cases import all_case_ids, get_case
+
+#: Cases where ATROPOS's improvement is bounded by transient physics
+#: (cache rewarm after cancellation, saturation episodes between
+#: detection and reaction, CPU-queue drain time); see EXPERIMENTS.md.
+#: The paper itself singles out c12 (and c3) as SLO-miss cases (§5.3).
+LOOSE_CASES = {"c9", "c10", "c12"}
+
+
+@pytest.mark.parametrize("cid", all_case_ids())
+def test_culprit_degrades_p99(cid):
+    case = get_case(cid)
+    baseline = case.run_baseline()
+    overload = case.run()
+    assert overload.p99_latency > baseline.p99_latency * 3, (
+        f"{cid}: overload did not degrade p99 "
+        f"({overload.p99_latency} vs {baseline.p99_latency})"
+    )
+
+
+@pytest.mark.parametrize("cid", all_case_ids())
+def test_atropos_mitigates(cid):
+    case = get_case(cid)
+    baseline = case.run_baseline()
+    overload = case.run()
+    atropos = case.run(
+        controller_factory=controller_factory(
+            "atropos",
+            case.slo_latency,
+            atropos_overrides=case.atropos_overrides,
+        )
+    )
+    # Throughput restored to >= 90% of baseline (paper: 96% average).
+    assert atropos.throughput > baseline.throughput * 0.9, cid
+    # Tail latency far below the uncontrolled run.
+    improvement = overload.p99_latency / atropos.p99_latency
+    floor = 2.0 if cid in LOOSE_CASES else 4.0
+    assert improvement > floor, (
+        f"{cid}: p99 improvement only {improvement:.1f}x"
+    )
+    # Minimal request loss (paper: < 0.01%; ours < 2% per case).
+    assert atropos.drop_rate < 0.02, cid
+    # At least one cancellation was issued...
+    assert atropos.controller.cancels_issued >= 1, cid
+    # ...and a culprit operation is among the cancelled tasks.
+    cancelled_ops = {e.op_name for e in atropos.controller.cancellation.log}
+    assert cancelled_ops & case.culprit_ops, (
+        f"{cid}: cancelled {cancelled_ops}, expected one of "
+        f"{case.culprit_ops}"
+    )

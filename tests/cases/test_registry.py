@@ -1,0 +1,82 @@
+"""Tests for the case registry and Table 2 metadata."""
+
+import pytest
+
+from repro.cases import CaseSpec, all_case_ids, all_cases, get_case
+
+#: Table 2's resource-type column, per case.
+EXPECTED_TYPES = {
+    "c1": "Synchronization",
+    "c2": "Thread pool",
+    "c3": "Synchronization",
+    "c4": "Synchronization",
+    "c5": "Memory",
+    "c6": "Synchronization",
+    "c7": "Synchronization",
+    "c8": "System",
+    "c9": "Thread pool",
+    "c10": "Memory",
+    "c11": "Memory",
+    "c12": "System",
+    "c13": "Synchronization",
+    "c14": "Synchronization",
+    "c15": "Thread pool",
+    "c16": "Synchronization",
+}
+
+EXPECTED_APPS = {
+    "c1": "mysql", "c2": "mysql", "c3": "mysql", "c4": "mysql",
+    "c5": "mysql", "c6": "postgres", "c7": "postgres", "c8": "postgres",
+    "c9": "apache", "c10": "elasticsearch", "c11": "elasticsearch",
+    "c12": "elasticsearch", "c13": "elasticsearch", "c14": "solr",
+    "c15": "solr", "c16": "etcd",
+}
+
+
+def test_all_16_cases_registered():
+    assert all_case_ids() == [f"c{i}" for i in range(1, 17)]
+
+
+def test_resource_types_match_table2():
+    for cid, expected in EXPECTED_TYPES.items():
+        assert get_case(cid).resource_type == expected, cid
+
+
+def test_apps_match_table2():
+    for cid, expected in EXPECTED_APPS.items():
+        assert get_case(cid).app_name == expected, cid
+
+
+def test_table2_category_counts():
+    """Eight sync, three thread-pool, three memory, two system cases."""
+    from collections import Counter
+
+    counts = Counter(c.resource_type for c in all_cases())
+    assert counts["Synchronization"] == 8
+    assert counts["Thread pool"] == 3
+    assert counts["Memory"] == 3
+    assert counts["System"] == 2
+
+
+def test_cases_have_trigger_descriptions():
+    for case in all_cases():
+        assert case.trigger
+        assert case.culprit_ops
+
+
+def test_get_unknown_case_raises():
+    with pytest.raises(KeyError, match="unknown case"):
+        get_case("c99")
+
+
+def test_case_specs_are_fresh_instances():
+    assert get_case("c1") is not get_case("c1")
+
+
+def test_duplicate_registration_rejected():
+    from repro.cases.base import register_case
+
+    with pytest.raises(ValueError):
+        @register_case("c1")
+        def dup():  # pragma: no cover
+            raise AssertionError

@@ -1,0 +1,33 @@
+"""Seed robustness: the case dynamics hold beyond the default seed.
+
+Representative cases of each resource class, run at two extra seeds.
+"""
+
+import pytest
+
+from repro.baselines import controller_factory
+from repro.cases import get_case
+
+#: One case per Table 2 resource class.
+REPRESENTATIVES = ["c1", "c2", "c5", "c8"]
+SEEDS = [1, 2]
+
+
+@pytest.mark.parametrize("cid", REPRESENTATIVES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mitigation_holds_across_seeds(cid, seed):
+    case = get_case(cid)
+    baseline = case.run_baseline(seed=seed)
+    overload = case.run(seed=seed)
+    atropos = case.run(
+        controller_factory=controller_factory(
+            "atropos",
+            case.slo_latency,
+            atropos_overrides=case.atropos_overrides,
+        ),
+        seed=seed,
+    )
+    assert overload.p99_latency > baseline.p99_latency * 3, (cid, seed)
+    assert atropos.throughput > baseline.throughput * 0.9, (cid, seed)
+    assert atropos.p99_latency < overload.p99_latency / 2, (cid, seed)
+    assert atropos.drop_rate < 0.02, (cid, seed)

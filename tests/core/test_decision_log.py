@@ -1,0 +1,70 @@
+"""Tests for the decision log and the Atropos explain() timeline."""
+
+import pytest
+
+from repro.core.decision_log import DecisionKind, DecisionLog
+
+
+class TestDecisionLog:
+    def test_record_and_query(self):
+        log = DecisionLog()
+        log.record(1.0, DecisionKind.DETECTION, "d1")
+        log.record(2.0, DecisionKind.CANCELLATION, "c1", key=7)
+        assert len(log) == 2
+        assert [e.summary for e in log.events_of(DecisionKind.CANCELLATION)] == ["c1"]
+
+    def test_between(self):
+        log = DecisionLog()
+        for t in (0.5, 1.5, 2.5):
+            log.record(t, DecisionKind.DETECTION, f"at-{t}")
+        assert [e.time for e in log.between(1.0, 2.0)] == [1.5]
+
+    def test_capacity_bounds_memory(self):
+        log = DecisionLog(capacity=3)
+        for i in range(5):
+            log.record(float(i), DecisionKind.DETECTION, f"e{i}")
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert log.events[0].summary == "e2"
+        assert "2 earlier events dropped" in log.render()
+
+    def test_render_filters_and_limits(self):
+        log = DecisionLog()
+        log.record(1.0, DecisionKind.DETECTION, "det")
+        log.record(2.0, DecisionKind.CANCELLATION, "can")
+        only_cancel = log.render(kinds=[DecisionKind.CANCELLATION])
+        assert "can" in only_cancel and "det" not in only_cancel
+        assert "det" not in log.render(limit=1)
+
+    def test_render_empty(self):
+        assert "no decisions" in DecisionLog().render()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DecisionLog(capacity=0)
+
+    def test_event_render_includes_details(self):
+        log = DecisionLog()
+        e = log.record(1.25, DecisionKind.CANCELLATION, "x", score=2.5)
+        assert "score=2.5" in e.render()
+        assert "t=   1.250s" in e.render()
+
+
+class TestAtroposTimeline:
+    def test_end_to_end_timeline_on_case(self):
+        from repro.baselines import controller_factory
+        from repro.cases import get_case
+
+        case = get_case("c4")
+        result = case.run(
+            controller_factory=controller_factory("atropos", case.slo_latency)
+        )
+        atropos = result.controller
+        timeline = atropos.explain()
+        assert "resource overload" in timeline
+        assert "cancelled 'select_for_update'" in timeline
+        kinds = {e.kind for e in atropos.decision_log.events}
+        assert DecisionKind.DETECTION in kinds
+        assert DecisionKind.CLASSIFICATION in kinds
+        assert DecisionKind.CANCELLATION in kinds
+        assert DecisionKind.REEXECUTION in kinds

@@ -1,0 +1,95 @@
+"""Tests for task progress models and the future-gain multiplier."""
+
+import pytest
+
+from repro.core import (
+    CallbackProgress,
+    GetNextProgress,
+    TimeBasedProgress,
+    UnknownProgress,
+    clamp_progress,
+    future_gain_multiplier,
+)
+from repro.core.progress import MAX_PROGRESS, MIN_PROGRESS
+
+
+class TestClamp:
+    def test_clamps_low(self):
+        assert clamp_progress(0.0) == MIN_PROGRESS
+        assert clamp_progress(-1.0) == MIN_PROGRESS
+
+    def test_clamps_high(self):
+        assert clamp_progress(1.0) == MAX_PROGRESS
+        assert clamp_progress(2.0) == MAX_PROGRESS
+
+    def test_passes_through_in_range(self):
+        assert clamp_progress(0.5) == 0.5
+
+
+class TestFutureGainMultiplier:
+    def test_halfway_is_neutral(self):
+        assert future_gain_multiplier(0.5) == pytest.approx(1.0)
+
+    def test_early_task_has_large_multiplier(self):
+        assert future_gain_multiplier(0.1) == pytest.approx(9.0)
+
+    def test_late_task_has_small_multiplier(self):
+        assert future_gain_multiplier(0.9) == pytest.approx(1 / 9)
+
+    def test_paper_lock_example(self):
+        """Held 1s at 40% progress -> estimated gain factor 1.5 (§3.4)."""
+        assert 1.0 * future_gain_multiplier(0.4) == pytest.approx(1.5)
+
+    def test_finite_at_extremes(self):
+        assert future_gain_multiplier(0.0) < float("inf")
+        assert future_gain_multiplier(1.0) >= 0.0
+
+
+class TestGetNextProgress:
+    def test_tracks_rows(self):
+        p = GetNextProgress(total_rows=100)
+        p.advance(25)
+        assert p.value(now=0.0) == pytest.approx(0.25)
+
+    def test_caps_at_total(self):
+        p = GetNextProgress(total_rows=10)
+        p.advance(50)
+        assert p.value(0.0) == MAX_PROGRESS
+
+    def test_revised_total(self):
+        p = GetNextProgress(total_rows=100)
+        p.advance(50)
+        p.set_total(200)
+        assert p.value(0.0) == pytest.approx(0.25)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            GetNextProgress(total_rows=0)
+        p = GetNextProgress(total_rows=10)
+        with pytest.raises(ValueError):
+            p.advance(-1)
+        with pytest.raises(ValueError):
+            p.set_total(0)
+
+
+class TestTimeBasedProgress:
+    def test_elapsed_fraction(self):
+        p = TimeBasedProgress(started_at=10.0, expected_duration=20.0)
+        assert p.value(now=15.0) == pytest.approx(0.25)
+
+    def test_before_start_clamps(self):
+        p = TimeBasedProgress(started_at=10.0, expected_duration=20.0)
+        assert p.value(now=5.0) == MIN_PROGRESS
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            TimeBasedProgress(0.0, 0.0)
+
+
+class TestCallbackAndUnknown:
+    def test_callback_is_clamped(self):
+        p = CallbackProgress(lambda: 5.0)
+        assert p.value(0.0) == MAX_PROGRESS
+
+    def test_unknown_is_halfway(self):
+        assert UnknownProgress().value(0.0) == 0.5

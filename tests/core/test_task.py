@@ -1,0 +1,231 @@
+"""Tests for the cancellable-task abstraction."""
+
+import pytest
+
+from repro.core import BaseController, CancelSignal, TaskKind, TaskState
+from repro.core.task import default_initiator
+from repro.sim import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def controller(env):
+    return BaseController(env)
+
+
+def test_create_cancel_generates_unique_keys(controller):
+    t1 = controller.create_cancel()
+    t2 = controller.create_cancel()
+    assert t1.key != t2.key
+
+
+def test_create_cancel_accepts_explicit_key(controller):
+    t = controller.create_cancel(key="conn-42")
+    assert t.key == "conn-42"
+
+
+def test_create_cancel_captures_active_process(env, controller):
+    captured = []
+
+    def proc(env):
+        task = controller.create_cancel()
+        captured.append(task.process)
+        yield env.timeout(0)
+
+    p = env.process(proc(env))
+    env.run()
+    assert captured == [p]
+
+
+def test_task_state_transitions(env, controller):
+    task = controller.create_cancel()
+    assert task.state is TaskState.RUNNING
+    assert task.alive
+    task.finish()
+    assert task.state is TaskState.FINISHED
+    assert not task.alive
+
+
+def test_cancel_transition(env, controller):
+    task = controller.create_cancel()
+    task.begin_cancel(CancelSignal())
+    assert task.state is TaskState.CANCELLING
+    assert task.alive
+    task.finish()
+    assert task.state is TaskState.CANCELLED
+
+
+def test_finish_is_idempotent(env, controller):
+    task = controller.create_cancel()
+    task.finish()
+    task.finish()
+    assert task.state is TaskState.FINISHED
+
+
+def test_cannot_cancel_finished_task(env, controller):
+    task = controller.create_cancel()
+    task.finish()
+    with pytest.raises(RuntimeError):
+        task.begin_cancel(CancelSignal())
+
+
+def test_cancellable_requires_live_process(env, controller):
+    def proc(env):
+        yield env.timeout(5.0)
+
+    def creator(env):
+        task = controller.create_cancel()
+        yield env.timeout(1.0)
+        created.append(task)
+
+    created = []
+    env.process(creator(env))
+    env.run()
+    # Process finished; task no longer cancellable.
+    assert not created[0].cancellable
+
+
+def test_cancellable_false_without_process(env, controller):
+    # Created outside any process: nothing to interrupt.
+    task = controller.create_cancel()
+    assert task.process is None
+    assert not task.cancellable
+
+
+def test_fairness_cancelled_once_not_cancellable_again(env, controller):
+    def proc(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(100.0)
+
+    def driver(env):
+        task = controller.create_cancel()
+        yield env.timeout(0)
+        tasks.append(task)
+
+    tasks = []
+
+    def body(env):
+        task = controller.create_cancel()
+        tasks.append(task)
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+
+    p = env.process(body(env))
+
+    def killer(env):
+        yield env.timeout(1.0)
+        task = tasks[0]
+        assert task.cancellable
+        task.begin_cancel(CancelSignal())
+        default_initiator(task, task.cancel_signal)
+
+    env.process(killer(env))
+    env.run()
+    assert tasks[0].cancel_count == 1
+    assert not tasks[0].cancellable
+
+
+def test_mark_non_cancellable(env, controller):
+    def body(env):
+        task = controller.create_cancel()
+        tasks.append(task)
+        yield env.timeout(1.0)
+
+    tasks = []
+    env.process(body(env))
+
+    def check(env):
+        yield env.timeout(0.5)
+        tasks[0].mark_non_cancellable()
+        assert not tasks[0].cancellable
+
+    env.process(check(env))
+    env.run()
+
+
+def test_background_kind(controller):
+    task = controller.create_cancel(kind=TaskKind.BACKGROUND)
+    assert task.kind is TaskKind.BACKGROUND
+
+
+def test_age_tracks_time(env, controller):
+    def body(env):
+        task = controller.create_cancel()
+        tasks.append(task)
+        yield env.timeout(3.0)
+        ages.append(task.age)
+
+    tasks, ages = [], []
+    env.process(body(env))
+    env.run()
+    assert ages == [3.0]
+
+
+def test_free_cancel_removes_from_registry(env, controller):
+    task = controller.create_cancel()
+    assert controller.live_tasks() == [task]
+    controller.free_cancel(task)
+    assert controller.live_tasks() == []
+
+
+def test_free_cancel_idempotent(env, controller):
+    task = controller.create_cancel()
+    controller.free_cancel(task)
+    controller.free_cancel(task)  # no error
+
+
+def test_default_initiator_interrupts_process(env, controller):
+    log = []
+
+    def body(env):
+        task = controller.create_cancel()
+        tasks.append(task)
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append(exc.cause.reason)
+
+    tasks = []
+    env.process(body(env))
+
+    def killer(env):
+        yield env.timeout(1.0)
+        signal = CancelSignal(reason="test-cancel")
+        tasks[0].begin_cancel(signal)
+        default_initiator(tasks[0], signal)
+
+    env.process(killer(env))
+    env.run()
+    assert log == ["test-cancel"]
+
+
+def test_default_initiator_noop_for_dead_process(env, controller):
+    def body(env):
+        task = controller.create_cancel()
+        tasks.append(task)
+        yield env.timeout(0.1)
+
+    tasks = []
+    env.process(body(env))
+    env.run()
+    # Should not raise even though the process is gone.
+    default_initiator(tasks[0], CancelSignal())
+
+
+def test_register_resource_idempotent(controller):
+    from repro.core import ResourceType
+
+    h1 = controller.register_resource("buffer_pool", ResourceType.MEMORY)
+    h2 = controller.register_resource("buffer_pool", ResourceType.MEMORY)
+    assert h1 is h2
+    with pytest.raises(ValueError):
+        controller.register_resource("buffer_pool", ResourceType.LOCK)

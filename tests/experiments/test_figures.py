@@ -1,0 +1,201 @@
+"""Shape tests for the figure experiments.
+
+Each test runs a reduced configuration of one experiment and asserts the
+paper's qualitative result -- who wins, roughly by how much, where the
+crossover falls -- not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import (
+    fig2_buffer_pool,
+    fig3_lock_contention,
+    fig4_motivation,
+    fig9_comparison,
+    fig11_drop_rate,
+    fig12_slo,
+    fig13_policies,
+    fig14_overhead,
+)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_buffer_pool.run(loads=[400.0, 1200.0])
+
+    def test_dump_reduces_peak_throughput(self, result):
+        tput = result.table("throughput").row_map()
+        high_load = tput[1200.0]
+        cols = result.table("throughput").columns
+        no_dump = high_load[cols.index("No dump")]
+        heavy = high_load[cols.index("0.01% dump")]
+        assert heavy < no_dump * 0.6
+
+    def test_dump_raises_latency_at_moderate_load(self, result):
+        p99 = result.table("p99").row_map()
+        cols = result.table("p99").columns
+        row = p99[400.0]
+        assert (
+            row[cols.index("0.01% dump")] > row[cols.index("No dump")] * 3
+        )
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_lock_contention.run(loads=[900.0])
+
+    def test_contention_needs_both_culprits(self, result):
+        tput = result.table("throughput")
+        row = tput.rows[0]
+        cols = tput.columns
+        contention = row[cols.index("Lock Contention")]
+        drop_scan = row[cols.index("Drop Scan")]
+        drop_backup = row[cols.index("Drop Backup")]
+        # Removing either culprit restores throughput.
+        assert drop_scan > contention * 1.5
+        assert drop_backup > contention * 1.5
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_motivation.run(loads=[900.0])
+
+    def test_atropos_best_throughput(self, result):
+        tput = result.table("4a").rows[0]
+        cols = result.table("4a").columns
+        atropos = tput[cols.index("atropos")]
+        assert atropos > 0.9
+        assert atropos >= tput[cols.index("protego")]
+        assert atropos >= tput[cols.index("pbox")]
+
+    def test_protego_drops_most(self, result):
+        drops = result.table("4c").rows[0]
+        cols = result.table("4c").columns
+        assert drops[cols.index("protego")] > 0.05
+        assert drops[cols.index("atropos")] < 0.01
+
+    def test_atropos_p99_near_baseline(self, result):
+        p99 = result.table("4b").rows[0]
+        cols = result.table("4b").columns
+        assert p99[cols.index("atropos")] < 20
+        assert p99[cols.index("pbox")] > p99[cols.index("atropos")]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A sync case and a memory case, against the two nearest rivals.
+        return fig9_comparison.run(
+            case_ids=["c4", "c5"], systems=["atropos", "protego", "pbox"]
+        )
+
+    def test_atropos_wins_average_throughput(self, result):
+        summary = result.table("summary").row_map()
+        atropos = summary["atropos"][1]
+        assert atropos > 0.9
+        assert atropos >= summary["protego"][1]
+        assert atropos >= summary["pbox"][1]
+
+    def test_atropos_wins_average_p99(self, result):
+        summary = result.table("summary").row_map()
+        assert summary["atropos"][2] <= summary["protego"][2]
+        assert summary["atropos"][2] <= summary["pbox"][2]
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ALL_EXPERIMENTS["fig10"](case_ids=["c4", "c13"])
+
+    def test_atropos_restores_each_case(self, result):
+        tput = result.table("10a")
+        p99 = result.table("10b")
+        for row in tput.rows:
+            assert row[2] > 0.9  # Atropos column
+        for row in p99.rows:
+            assert row[1] > row[2] * 10  # Overload >> Atropos
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_drop_rate.run(case_ids=["c1", "c4"])
+
+    def test_protego_drops_orders_of_magnitude_more(self, result):
+        summary = result.table("summary").row_map()
+        protego = summary["Protego"][1]
+        atropos = summary["Atropos"][1]
+        assert protego > 0.02
+        assert atropos < 0.005
+        assert protego > atropos * 10
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_slo.run(case_ids=["c1", "c14"], goals=[0.2, 0.6])
+
+    def test_latency_increase_within_goal(self, result):
+        increase = result.table("latency increase")
+        cols = increase.columns
+        for row in increase.rows:
+            # The 60% goal is met (c1 and c14 are well-behaved cases).
+            assert row[cols.index("goal_60%")] < 0.6
+
+    def test_cancellations_issued(self, result):
+        cancels = result.table("cancellations")
+        for row in cancels.rows:
+            assert all(v >= 1 for v in row[1:])
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # c4's culprit is an early-progress task: future gain matters.
+        return fig13_policies.run(case_ids=["c1", "c4"])
+
+    def test_multi_objective_at_least_as_good(self, result):
+        summary = result.table("summary").row_map()
+        moo = summary["Multi-Objective"]
+        for other in ("Heuristic", "Current Usage"):
+            assert moo[1] >= summary[other][1] - 0.05  # throughput
+            assert moo[2] <= summary[other][2] * 1.5  # p99
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14_overhead.run(apps=["mysql", "solr"])
+
+    def test_normal_overhead_is_small(self, result):
+        tput = result.table("14a")
+        cols = tput.columns
+        for row in tput.rows:
+            # Under normal load, tracing costs at most a few percent.
+            assert row[cols.index("Read")] > 0.95
+            assert row[cols.index("Write")] > 0.95
+
+    def test_overhead_reported_for_all_workloads(self, result):
+        tput = result.table("14a")
+        assert len(tput.columns) == 5  # app + 4 workloads
+        for row in tput.rows:
+            assert all(v == v for v in row[1:])  # no NaNs
+
+
+class TestTables:
+    def test_table1_runs(self):
+        result = ALL_EXPERIMENTS["table1"]()
+        assert "151" in result.format()
+
+    def test_table2_lists_16_cases(self):
+        result = ALL_EXPERIMENTS["table2"]()
+        assert len(result.tables[0].rows) == 16
+
+    def test_table3_counts_sites(self):
+        result = ALL_EXPERIMENTS["table3"]()
+        sites = result.tables[0].column("Repo Instrumentation Sites")
+        assert all(s > 0 for s in sites)

@@ -1,0 +1,235 @@
+"""Chaos cancellation: random interrupts must never leak resources.
+
+The safe-cancellation claim (§2.4/§3.6) is that cancelling a task at any
+checkpoint leaves the application consistent: every lock released, every
+buffer page freed, every worker slot returned.  These tests bombard live
+applications with randomly timed cancellations of random tasks and then
+assert the resource-state invariants.
+"""
+
+import pytest
+
+from repro.apps.apache import Apache
+from repro.apps.base import Operation
+from repro.apps.elasticsearch import Elasticsearch
+from repro.apps.etcd import Etcd
+from repro.apps.mysql import MySQL, light_mix
+from repro.apps.postgres import PostgreSQL
+from repro.apps.solr import Solr
+from repro.core import CancelSignal, NullController
+from repro.sim import Environment, MetricsCollector, Rng
+from repro.workloads import Driver, MixEntry, OpenLoopSource, ScheduledOp, Workload
+
+
+class ChaosController(NullController):
+    """Interrupts a random live task every `period` seconds."""
+
+    name = "chaos"
+
+    def __init__(self, env, rng, period=0.05):
+        super().__init__(env)
+        self.rng = rng
+        self.period = period
+        self.interrupts_sent = 0
+
+    def start(self):
+        self.env.process(self._chaos_loop())
+
+    def _chaos_loop(self):
+        while True:
+            yield self.env.timeout(self.period)
+            victims = [
+                t
+                for t in self.tasks.values()
+                if t.alive
+                and t.process is not None
+                and t.process.is_alive
+                and t.process is not self.env.active_process
+            ]
+            if not victims:
+                continue
+            victim = self.rng.choice(victims)
+            victim.begin_cancel(CancelSignal(reason="chaos"))
+            victim.process.interrupt(victim.cancel_signal)
+            self.interrupts_sent += 1
+
+    def reexecution_gate(self, task, arrival_time):
+        # Chaos victims are simply dropped; we only care about state.
+        return "drop"
+        yield  # pragma: no cover
+
+
+def run_chaos(app_cls, workload_builder, duration=6.0, seed=0):
+    env = Environment()
+    rng = Rng(seed)
+    controller = ChaosController(env, rng.fork("chaos"))
+    app = app_cls(env, controller, rng)
+    controller.start()
+    driver = Driver(env, app, controller, MetricsCollector())
+    driver.run_workload(workload_builder(app, rng, stop=duration))
+    # Arrivals stop at `duration`; drain long enough for every surviving
+    # task (and every pending chaos interrupt) to unwind.
+    env.run(until=duration + 10.0)
+    return app, controller, driver
+
+
+def heavy_mysql_workload(app, rng, stop):
+    mix = light_mix(rng)
+    mix.append(
+        MixEntry(
+            factory=lambda: Operation("scan", {"table": 0, "rows": 4e5}),
+            weight=0.01,
+        )
+    )
+    mix.append(
+        MixEntry(
+            factory=lambda: Operation("slow_query", {"duration": 0.5}),
+            weight=0.01,
+        )
+    )
+    return Workload(
+        [
+            OpenLoopSource(rate=300.0, mix=mix, stop_time=stop),
+            ScheduledOp(at=1.0, factory=lambda: Operation("backup", {})),
+            ScheduledOp(
+                at=2.0,
+                factory=lambda: Operation(
+                    "select_for_update", {"table": 1, "rows": 3e5}
+                ),
+            ),
+        ]
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_mysql_no_leaks_under_chaos(seed):
+    app, controller, driver = run_chaos(
+        MySQL, heavy_mysql_workload, seed=seed
+    )
+    assert controller.interrupts_sent > 20
+    # Every table lock fully released.
+    for lock in app.table_locks:
+        assert lock.holders == [], "leaked table lock holder"
+        assert lock.queue_length == 0, "ghost waiter in table lock"
+    assert app.undo_latch.holders == []
+    # Worker pool fully drained.
+    assert app.innodb_queue.active == 0
+    assert app.innodb_queue.queue_length == 0
+    # Buffer pool: only the communal hot set remains resident.
+    assert app.buffer_pool.owners() == ["hot-set"] or set(
+        app.buffer_pool.owners()
+    ) <= {"hot-set"}
+    # No live tasks left behind.
+    assert controller.live_tasks() == []
+    assert driver.inflight == 0
+
+
+def test_postgres_no_leaks_under_chaos():
+    from repro.cases.postgres_cases import pg_mix
+    from repro.core.types import TaskKind
+
+    def workload(app, rng, stop):
+        return Workload(
+            [
+                OpenLoopSource(
+                    rate=250.0,
+                    mix=pg_mix(rng, select_weight=0.4),
+                    stop_time=stop,
+                ),
+                ScheduledOp(
+                    at=1.0,
+                    factory=lambda: Operation(
+                        "bulk_update", {"table": 0, "rows": 8e5}
+                    ),
+                ),
+                ScheduledOp(
+                    at=1.5,
+                    factory=lambda: Operation(
+                        "vacuum", {"total_bytes": 100e6},
+                        kind=TaskKind.BACKGROUND,
+                    ),
+                ),
+            ]
+        )
+
+    app, controller, driver = run_chaos(PostgreSQL, workload)
+    for lock in app.table_locks:
+        assert lock.holders == []
+    assert app.wal_lock.holders == []
+    assert app.disk.queue.active == 0
+    assert controller.live_tasks() == []
+
+
+def test_elasticsearch_no_leaks_under_chaos():
+    def workload(app, rng, stop):
+        return Workload(
+            [
+                OpenLoopSource(
+                    rate=250.0,
+                    stop_time=stop,
+                    mix=[
+                        MixEntry(
+                            factory=lambda: Operation("search", {}),
+                            weight=0.9,
+                        ),
+                        MixEntry(
+                            factory=lambda: Operation("indexing", {}),
+                            weight=0.1,
+                        ),
+                    ],
+                ),
+                ScheduledOp(
+                    at=1.0,
+                    factory=lambda: Operation(
+                        "nested_aggregation", {"blocks": 1200}
+                    ),
+                ),
+                ScheduledOp(
+                    at=2.0, factory=lambda: Operation("large_search", {})
+                ),
+            ]
+        )
+
+    app, controller, driver = run_chaos(Elasticsearch, workload)
+    assert app.doc_lock.holders == []
+    # Heap back to baseline + nothing from dead tasks.
+    assert set(app.heap.owners()) <= {"baseline"}
+    assert set(app.query_cache.owners()) <= {"hot-filters"}
+    assert controller.live_tasks() == []
+
+
+def test_solr_and_etcd_no_leaks_under_chaos():
+    def solr_workload(app, rng, stop):
+        return Workload(
+            [
+                OpenLoopSource(rate=300.0, stop_time=stop, mix=[
+                    MixEntry(factory=lambda: Operation("query", {}), weight=1.0)
+                ]),
+                ScheduledOp(
+                    at=1.0,
+                    factory=lambda: Operation("boolean_query", {"duration": 2.0}),
+                ),
+            ]
+        )
+
+    app, controller, _ = run_chaos(Solr, solr_workload)
+    assert app.index_lock.holders == []
+    assert app.searchers.active == 0
+
+    def etcd_workload(app, rng, stop):
+        return Workload(
+            [
+                OpenLoopSource(rate=250.0, stop_time=stop, mix=[
+                    MixEntry(factory=lambda: Operation("get", {}), weight=0.7),
+                    MixEntry(factory=lambda: Operation("put", {}), weight=0.3),
+                ]),
+                ScheduledOp(
+                    at=1.0,
+                    factory=lambda: Operation("range_read", {"duration": 2.0}),
+                ),
+            ]
+        )
+
+    app, controller, _ = run_chaos(Etcd, etcd_workload)
+    assert app.kv_lock.holders == []
+    assert app.kv_lock.queue_length == 0

@@ -1,0 +1,70 @@
+"""Property-based tests for the reader/writer lock's safety invariants."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim import Environment
+from repro.sim.resources import SyncLock
+
+
+class LockMachine(RuleBasedStateMachine):
+    """Random acquire/close sequences (grants driven synchronously)."""
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.lock = SyncLock(self.env, "l")
+        self.grants = []
+        self._seq = 0
+
+    @rule(exclusive=st.booleans())
+    def acquire(self, exclusive):
+        self._seq += 1
+        grant = self.lock.acquire(owner=f"t{self._seq}", exclusive=exclusive)
+        self.grants.append(grant)
+
+    @rule(data=st.data())
+    def close_one(self, data):
+        open_grants = [g for g in self.grants if not g.closed]
+        if not open_grants:
+            return
+        grant = data.draw(st.sampled_from(open_grants))
+        grant.close()
+
+    @invariant()
+    def mutual_exclusion(self):
+        holders = self.lock.holders
+        if any(g.exclusive for g in holders):
+            # A writer excludes everyone else.
+            assert len(holders) == 1
+
+    @invariant()
+    def no_waiter_is_compatible_with_grant_order(self):
+        """Work-conserving up to FIFO: the head waiter is incompatible."""
+        if self.lock.queue_length == 0:
+            return
+        head = self.lock._waiters[0]
+        if head.exclusive:
+            assert self.lock.holders, "queued writer with free lock"
+        else:
+            assert self.lock.held_exclusive, "queued reader behind no writer"
+
+    @invariant()
+    def granted_implies_not_queued(self):
+        queued = set(map(id, self.lock._waiters))
+        for g in self.lock.holders:
+            assert id(g) not in queued
+
+    @invariant()
+    def closed_grants_fully_detached(self):
+        for g in self.grants:
+            if g.closed:
+                assert g not in self.lock.holders
+                assert g not in self.lock._waiters
+
+
+TestLockMachine = LockMachine.TestCase
+TestLockMachine.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None
+)

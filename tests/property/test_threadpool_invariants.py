@@ -1,0 +1,72 @@
+"""Property-based tests for the worker pool's scheduling invariants."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim import Environment
+from repro.sim.resources import QueueFull, ThreadPool
+
+CLASSES = ["light", "heavy", "static"]
+
+
+class PoolMachine(RuleBasedStateMachine):
+    """Random submit/close sequences with optional class reservations."""
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.workers = 4
+        self.pool = ThreadPool(self.env, "p", workers=self.workers)
+        self.grants = []
+        self._reserved = False
+
+    @rule(klass=st.sampled_from(CLASSES))
+    def submit(self, klass):
+        grant = self.pool.submit(owner=object(), klass=klass)
+        self.grants.append(grant)
+
+    @rule(data=st.data())
+    def close_one(self, data):
+        open_grants = [g for g in self.grants if not g.closed]
+        if not open_grants:
+            return
+        data.draw(st.sampled_from(open_grants)).close()
+
+    @rule(workers=st.integers(min_value=0, max_value=2))
+    def reserve_light(self, workers):
+        self.pool.reserve("light", workers)
+        self._reserved = workers > 0
+
+    @invariant()
+    def active_never_exceeds_workers(self):
+        assert 0 <= self.pool.active <= self.workers
+
+    @invariant()
+    def running_and_queued_disjoint(self):
+        running = set(map(id, self.pool._running))
+        waiting = set(map(id, self.pool._waiters))
+        assert not (running & waiting)
+
+    @invariant()
+    def no_idle_worker_with_eligible_head(self):
+        """Work conservation: with no reservations, a free worker means
+        an empty queue."""
+        if self._reserved:
+            return
+        if self.pool.idle_workers > 0:
+            assert self.pool.queue_length == 0
+
+    @invariant()
+    def accounting_consistent(self):
+        open_grants = [g for g in self.grants if not g.closed]
+        granted = [g for g in open_grants if g.granted]
+        queued = [g for g in open_grants if not g.granted]
+        assert len(granted) == self.pool.active
+        assert len(queued) == self.pool.queue_length
+
+
+TestThreadPoolMachine = PoolMachine.TestCase
+TestThreadPoolMachine.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None
+)

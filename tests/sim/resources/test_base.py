@@ -1,0 +1,99 @@
+"""Tests for the Grant base class timing semantics."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.resources import SyncLock, ThreadPool
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_wait_time_grows_while_pending(env):
+    lock = SyncLock(env, "l")
+
+    def holder(env):
+        g = lock.acquire(owner="h")
+        yield g
+        yield env.timeout(10.0)
+        g.close()
+
+    def observer(env, out):
+        yield env.timeout(1.0)
+        pending = lock.acquire(owner="w")
+        yield env.timeout(3.0)
+        out.append(pending.wait_time)
+        pending.close()
+
+    out = []
+    env.process(holder(env))
+    env.process(observer(env, out))
+    env.run()
+    assert out == [pytest.approx(3.0)]
+
+
+def test_hold_time_frozen_after_close(env):
+    pool = ThreadPool(env, "p", workers=1)
+    grants = []
+
+    def proc(env):
+        g = pool.submit(owner="a")
+        yield g
+        yield env.timeout(2.0)
+        g.close()
+        grants.append(g)
+        yield env.timeout(5.0)
+
+    env.process(proc(env))
+    env.run()
+    # Hold time reflects the held interval, not time since.
+    assert grants[0].hold_time == pytest.approx(2.0)
+
+
+def test_hold_time_zero_if_never_granted(env):
+    lock = SyncLock(env, "l")
+
+    def holder(env):
+        g = lock.acquire(owner="h")
+        yield g
+        yield env.timeout(5.0)
+        g.close()
+
+    def waiter(env, out):
+        yield env.timeout(0.5)
+        pending = lock.acquire(owner="w")
+        yield env.timeout(1.0)
+        pending.close()  # abandon while still queued
+        out.append(pending.hold_time)
+
+    out = []
+    env.process(holder(env))
+    env.process(waiter(env, out))
+    env.run()
+    assert out == [0.0]
+
+
+def test_grant_context_manager_closes_on_normal_exit(env):
+    lock = SyncLock(env, "l")
+
+    def proc(env):
+        with lock.acquire(owner="a") as g:
+            yield g
+        assert g.closed
+
+    env.process(proc(env))
+    env.run()
+    assert lock.holders == []
+
+
+def test_granted_flag(env):
+    lock = SyncLock(env, "l")
+    g = lock.acquire(owner="a")
+    assert g.granted  # uncontended: granted synchronously
+    g2 = lock.acquire(owner="b")
+    assert not g2.granted
+    g.close()
+    assert g2.granted
+    g2.close()

@@ -1,0 +1,258 @@
+"""Tests for the shared/exclusive FIFO lock."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.sim.resources import SyncLock
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_uncontended_exclusive_grant_is_immediate(env):
+    lock = SyncLock(env, "t")
+    log = []
+
+    def proc(env):
+        with lock.acquire(owner="a") as g:
+            yield g
+            log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [0.0]
+
+
+def test_exclusive_excludes_exclusive(env):
+    lock = SyncLock(env, "t")
+    log = []
+
+    def proc(env, tag, hold):
+        with lock.acquire(owner=tag) as g:
+            yield g
+            log.append((tag, env.now))
+            yield env.timeout(hold)
+
+    env.process(proc(env, "a", 5.0))
+    env.process(proc(env, "b", 1.0))
+    env.run()
+    assert log == [("a", 0.0), ("b", 5.0)]
+
+
+def test_readers_share(env):
+    lock = SyncLock(env, "t")
+    log = []
+
+    def reader(env, tag):
+        with lock.acquire(owner=tag, exclusive=False) as g:
+            yield g
+            log.append((tag, env.now))
+            yield env.timeout(3.0)
+
+    env.process(reader(env, "r1"))
+    env.process(reader(env, "r2"))
+    env.run()
+    assert log == [("r1", 0.0), ("r2", 0.0)]
+
+
+def test_queued_writer_blocks_later_readers(env):
+    """FIFO: a writer in the queue blocks readers that arrive after it.
+
+    This is the convoy behaviour behind the paper's case 1 (backup lock).
+    """
+    lock = SyncLock(env, "t")
+    log = []
+
+    def reader_hold(env):
+        with lock.acquire(owner="long-reader", exclusive=False) as g:
+            yield g
+            yield env.timeout(10.0)
+
+    def writer(env):
+        yield env.timeout(1.0)
+        with lock.acquire(owner="writer") as g:
+            yield g
+            log.append(("writer", env.now))
+            yield env.timeout(2.0)
+
+    def late_reader(env):
+        yield env.timeout(2.0)
+        with lock.acquire(owner="late-reader", exclusive=False) as g:
+            yield g
+            log.append(("late-reader", env.now))
+
+    env.process(reader_hold(env))
+    env.process(writer(env))
+    env.process(late_reader(env))
+    env.run()
+    # Writer waits for long reader (until 10), late reader waits for writer.
+    assert log == [("writer", 10.0), ("late-reader", 12.0)]
+
+
+def test_wait_time_accounting(env):
+    lock = SyncLock(env, "t")
+    waits = {}
+
+    def proc(env, tag, hold):
+        with lock.acquire(owner=tag) as g:
+            yield g
+            waits[tag] = g.wait_time
+            yield env.timeout(hold)
+
+    env.process(proc(env, "a", 4.0))
+    env.process(proc(env, "b", 1.0))
+    env.run()
+    assert waits == {"a": 0.0, "b": 4.0}
+    assert lock.total_wait_time == 4.0
+
+
+def test_hold_time_accounting(env):
+    lock = SyncLock(env, "t")
+
+    def proc(env):
+        with lock.acquire(owner="a") as g:
+            yield g
+            yield env.timeout(7.0)
+
+    env.process(proc(env))
+    env.run()
+    assert lock.total_hold_time == 7.0
+
+
+def test_cancelled_waiter_leaves_queue(env):
+    lock = SyncLock(env, "t")
+    log = []
+
+    def holder(env):
+        with lock.acquire(owner="holder") as g:
+            yield g
+            yield env.timeout(10.0)
+
+    def waiter(env):
+        try:
+            with lock.acquire(owner="waiter") as g:
+                yield g
+                log.append("waiter-got-lock")
+        except Interrupt:
+            log.append("waiter-cancelled")
+
+    def killer(env, target):
+        yield env.timeout(2.0)
+        target.interrupt()
+
+    env.process(holder(env))
+    w = env.process(waiter(env))
+    env.process(killer(env, w))
+    env.run()
+    assert log == ["waiter-cancelled"]
+    assert lock.queue_length == 0
+    assert lock.holders == []
+
+
+def test_cancelling_queued_writer_unblocks_readers(env):
+    """Removing a queued writer must re-dispatch readers behind it."""
+    lock = SyncLock(env, "t")
+    log = []
+
+    def holder(env):
+        with lock.acquire(owner="r0", exclusive=False) as g:
+            yield g
+            yield env.timeout(10.0)
+
+    def writer(env):
+        yield env.timeout(1.0)
+        try:
+            with lock.acquire(owner="w") as g:
+                yield g
+        except Interrupt:
+            log.append(("writer-cancelled", env.now))
+
+    def reader(env):
+        yield env.timeout(2.0)
+        with lock.acquire(owner="r1", exclusive=False) as g:
+            yield g
+            log.append(("reader-granted", env.now))
+
+    def killer(env, target):
+        yield env.timeout(3.0)
+        target.interrupt()
+
+    env.process(holder(env))
+    w = env.process(writer(env))
+    env.process(reader(env))
+    env.process(killer(env, w))
+    env.run()
+    # Reader shares with r0 as soon as the queued writer is cancelled at t=3.
+    assert ("writer-cancelled", 3.0) in log
+    assert ("reader-granted", 3.0) in log
+
+
+def test_interrupt_while_holding_releases_via_context_manager(env):
+    lock = SyncLock(env, "t")
+    log = []
+
+    def holder(env):
+        try:
+            with lock.acquire(owner="h") as g:
+                yield g
+                yield env.timeout(100.0)
+        except Interrupt:
+            log.append("cancelled")
+
+    def waiter(env):
+        yield env.timeout(1.0)
+        with lock.acquire(owner="w") as g:
+            yield g
+            log.append(("granted", env.now))
+
+    def killer(env, target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    h = env.process(holder(env))
+    env.process(waiter(env))
+    env.process(killer(env, h))
+    env.run()
+    assert log == ["cancelled", ("granted", 5.0)]
+    assert lock.holders == []
+
+
+def test_close_is_idempotent(env):
+    lock = SyncLock(env, "t")
+
+    def proc(env):
+        g = lock.acquire(owner="a")
+        yield g
+        g.close()
+        g.close()
+
+    env.process(proc(env))
+    env.run()
+    assert lock.holders == []
+
+
+def test_queue_length_and_holder_introspection(env):
+    lock = SyncLock(env, "t")
+    snapshots = []
+
+    def holder(env):
+        with lock.acquire(owner="h") as g:
+            yield g
+            yield env.timeout(5.0)
+
+    def waiter(env):
+        yield env.timeout(1.0)
+        with lock.acquire(owner="w") as g:
+            yield g
+
+    def observer(env):
+        yield env.timeout(2.0)
+        snapshots.append((lock.queue_length, lock.holder_owners()))
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.process(observer(env))
+    env.run()
+    assert snapshots == [(1, ["h"])]

@@ -1,0 +1,167 @@
+"""Tests for the LRU memory pool."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.resources import MemoryPool
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_acquire_from_free_list(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    outcome = pool.acquire("a", 30)
+    assert outcome.acquired == 30
+    assert outcome.from_free == 30
+    assert outcome.evicted == 0
+    assert pool.free_pages == 70
+    assert pool.resident_pages("a") == 30
+
+
+def test_acquire_evicts_lru_owner(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("old", 60)
+    pool.acquire("recent", 40)
+    pool.touch("recent")
+    outcome = pool.acquire("newcomer", 50)
+    assert outcome.acquired == 50
+    assert outcome.evicted == 50
+    assert outcome.victims == {"old": 50}
+    assert pool.resident_pages("old") == 10
+    assert pool.resident_pages("recent") == 40
+
+
+def test_eviction_spans_multiple_victims(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("a", 30)
+    pool.acquire("b", 30)
+    pool.acquire("c", 40)
+    outcome = pool.acquire("d", 70)
+    assert outcome.evicted == 70
+    assert outcome.victims == {"a": 30, "b": 30, "c": 10}
+
+
+def test_protected_owners_not_evicted(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("pinned", 60)
+    pool.acquire("victim", 40)
+    outcome = pool.acquire("new", 50, protected=("pinned",))
+    assert outcome.victims == {"victim": 40}
+    # Only 40 could be evicted, so the grant is clamped to free+evicted.
+    assert outcome.acquired == 40
+    assert pool.resident_pages("pinned") == 60
+
+
+def test_requester_own_pages_never_evicted(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("a", 90)
+    outcome = pool.acquire("a", 10)
+    assert outcome.evicted == 0
+    assert pool.resident_pages("a") == 100
+
+
+def test_oversized_request_clamped_to_capacity(env):
+    pool = MemoryPool(env, "bp", capacity_pages=50)
+    outcome = pool.acquire("big", 500)
+    assert outcome.acquired == 50
+    assert pool.resident_pages("big") == 50
+
+
+def test_release_partial_and_full(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("a", 50)
+    assert pool.release("a", 20) == 20
+    assert pool.resident_pages("a") == 30
+    assert pool.release("a") == 30
+    assert pool.resident_pages("a") == 0
+    assert "a" not in pool.owners()
+
+
+def test_release_unknown_owner_is_noop(env):
+    pool = MemoryPool(env, "bp", capacity_pages=10)
+    assert pool.release("ghost") == 0
+
+
+def test_touch_refreshes_lru_position(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("a", 50)
+    pool.acquire("b", 50)
+    pool.touch("a")  # now b is the oldest
+    outcome = pool.acquire("c", 30)
+    assert outcome.victims == {"b": 30}
+
+
+def test_counters_accumulate(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("a", 100)
+    pool.acquire("b", 40)
+    pool.release("b", 10)
+    assert pool.total_acquired == 140
+    assert pool.total_evicted == 40
+    assert pool.total_released == 10
+
+
+def test_occupancy(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("a", 25)
+    assert pool.occupancy() == 0.25
+
+
+def test_invalid_construction(env):
+    with pytest.raises(ValueError):
+        MemoryPool(env, "bp", capacity_pages=0)
+
+
+def test_negative_acquire_rejected(env):
+    pool = MemoryPool(env, "bp", capacity_pages=10)
+    with pytest.raises(ValueError):
+        pool.acquire("a", -1)
+
+
+def test_eviction_ratio(env):
+    pool = MemoryPool(env, "bp", capacity_pages=100)
+    pool.acquire("a", 100)
+    outcome = pool.acquire("b", 50)
+    assert outcome.eviction_ratio == 1.0
+
+
+class TestProportionalEviction:
+    def test_spreads_across_owners_by_share(self, env):
+        pool = MemoryPool(
+            env, "bp", capacity_pages=100, eviction="proportional"
+        )
+        pool.acquire("a", 75)
+        pool.acquire("b", 25)
+        outcome = pool.acquire("scan", 40)
+        assert outcome.evicted == 40
+        # Roughly 3:1 split between a and b.
+        assert outcome.victims["a"] == pytest.approx(30, abs=3)
+        assert outcome.victims["b"] == pytest.approx(10, abs=3)
+
+    def test_touch_does_not_shield_owner(self, env):
+        """Unlike per-owner LRU, a hot owner still loses pages."""
+        pool = MemoryPool(
+            env, "bp", capacity_pages=100, eviction="proportional"
+        )
+        pool.acquire("hot", 50)
+        pool.acquire("cold", 50)
+        pool.touch("hot")
+        outcome = pool.acquire("scan", 50)
+        assert outcome.victims.get("hot", 0) > 0
+
+    def test_protected_respected(self, env):
+        pool = MemoryPool(
+            env, "bp", capacity_pages=100, eviction="proportional"
+        )
+        pool.acquire("pinned", 50)
+        pool.acquire("victim", 50)
+        outcome = pool.acquire("scan", 60, protected=("pinned",))
+        assert "pinned" not in outcome.victims
+        assert outcome.acquired == 50  # clamped: only 50 evictable
+
+    def test_unknown_strategy_rejected(self, env):
+        with pytest.raises(ValueError):
+            MemoryPool(env, "bp", capacity_pages=10, eviction="random")

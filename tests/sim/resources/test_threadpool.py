@@ -1,0 +1,193 @@
+"""Tests for the bounded worker pool."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.sim.resources import QueueFull, ThreadPool
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def run_job(env, pool, tag, duration, log, klass="default"):
+    with pool.submit(owner=tag, klass=klass) as slot:
+        yield slot
+        log.append((tag, "start", env.now))
+        yield env.timeout(duration)
+        log.append((tag, "end", env.now))
+
+
+def test_jobs_run_concurrently_up_to_workers(env):
+    pool = ThreadPool(env, "p", workers=2)
+    log = []
+    for tag in ("a", "b", "c"):
+        env.process(run_job(env, pool, tag, 4.0, log))
+    env.run()
+    starts = {tag: t for tag, what, t in log if what == "start"}
+    assert starts["a"] == 0.0
+    assert starts["b"] == 0.0
+    assert starts["c"] == 4.0
+
+
+def test_fifo_ordering(env):
+    pool = ThreadPool(env, "p", workers=1)
+    log = []
+    for tag in ("a", "b", "c"):
+        env.process(run_job(env, pool, tag, 1.0, log))
+    env.run()
+    starts = [tag for tag, what, _ in log if what == "start"]
+    assert starts == ["a", "b", "c"]
+
+
+def test_queue_capacity_rejects_when_full(env):
+    pool = ThreadPool(env, "p", workers=1, queue_capacity=1)
+    rejected = []
+
+    def spam(env, tag):
+        try:
+            with pool.submit(owner=tag) as slot:
+                yield slot
+                yield env.timeout(10.0)
+        except QueueFull:
+            rejected.append(tag)
+            yield env.timeout(0)
+
+    for tag in ("a", "b", "c"):
+        env.process(spam(env, tag))
+    env.run(until=1.0)
+    # a runs, b queues, c is rejected.
+    assert rejected == ["c"]
+
+
+def test_cancelled_waiter_leaves_queue(env):
+    pool = ThreadPool(env, "p", workers=1)
+    log = []
+
+    def blocker(env):
+        with pool.submit(owner="blocker") as slot:
+            yield slot
+            yield env.timeout(10.0)
+
+    def waiter(env):
+        try:
+            with pool.submit(owner="w") as slot:
+                yield slot
+                log.append("ran")
+        except Interrupt:
+            log.append("cancelled")
+
+    def killer(env, target):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    env.process(blocker(env))
+    w = env.process(waiter(env))
+    env.process(killer(env, w))
+    env.run()
+    assert log == ["cancelled"]
+    assert pool.queue_length == 0
+
+
+def test_interrupting_runner_frees_worker(env):
+    pool = ThreadPool(env, "p", workers=1)
+    log = []
+
+    def runner(env):
+        try:
+            with pool.submit(owner="r") as slot:
+                yield slot
+                yield env.timeout(100.0)
+        except Interrupt:
+            log.append(("cancelled", env.now))
+
+    def follower(env):
+        yield env.timeout(1.0)
+        with pool.submit(owner="f") as slot:
+            yield slot
+            log.append(("follower-start", env.now))
+
+    def killer(env, target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    r = env.process(runner(env))
+    env.process(follower(env))
+    env.process(killer(env, r))
+    env.run()
+    assert ("cancelled", 5.0) in log
+    assert ("follower-start", 5.0) in log
+
+
+def test_reservation_keeps_workers_for_class(env):
+    pool = ThreadPool(env, "p", workers=2)
+    pool.reserve("short", 1)
+    log = []
+
+    # Two long jobs of the unreserved class: only one may run.
+    env.process(run_job(env, pool, "long1", 10.0, log, klass="long"))
+    env.process(run_job(env, pool, "long2", 10.0, log, klass="long"))
+
+    def short_job(env):
+        yield env.timeout(1.0)
+        yield from run_job(env, pool, "short1", 1.0, log, klass="short")
+
+    env.process(short_job(env))
+    env.run()
+    starts = {tag: t for tag, what, t in log if what == "start"}
+    assert starts["long1"] == 0.0
+    assert starts["short1"] == 1.0  # reserved worker was free
+    assert starts["long2"] == 10.0  # had to wait for long1
+
+
+def test_reserve_more_than_workers_rejected(env):
+    pool = ThreadPool(env, "p", workers=2)
+    with pytest.raises(ValueError):
+        pool.reserve("a", 3)
+    pool.reserve("a", 1)
+    with pytest.raises(ValueError):
+        pool.reserve("b", 2)
+
+
+def test_clear_reservations(env):
+    pool = ThreadPool(env, "p", workers=2)
+    pool.reserve("a", 2)
+    pool.clear_reservations()
+    log = []
+    env.process(run_job(env, pool, "x", 1.0, log, klass="other"))
+    env.process(run_job(env, pool, "y", 1.0, log, klass="other"))
+    env.run()
+    starts = [t for _, what, t in log if what == "start"]
+    assert starts == [0.0, 0.0]
+
+
+def test_busy_and_wait_accounting(env):
+    pool = ThreadPool(env, "p", workers=1)
+    log = []
+    env.process(run_job(env, pool, "a", 2.0, log))
+    env.process(run_job(env, pool, "b", 3.0, log))
+    env.run()
+    assert pool.total_busy_time == 5.0
+    assert pool.total_wait_time == 2.0
+
+
+def test_introspection_counts(env):
+    pool = ThreadPool(env, "p", workers=2)
+    log = []
+    snapshots = []
+
+    def observer(env):
+        yield env.timeout(0.5)
+        snapshots.append((pool.active, pool.queue_length, pool.idle_workers))
+
+    for tag in ("a", "b", "c"):
+        env.process(run_job(env, pool, tag, 2.0, log))
+    env.process(observer(env))
+    env.run()
+    assert snapshots == [(2, 1, 0)]
+
+
+def test_invalid_workers_rejected(env):
+    with pytest.raises(ValueError):
+        ThreadPool(env, "p", workers=0)

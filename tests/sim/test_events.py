@@ -1,0 +1,146 @@
+"""Direct tests for the event layer (Event, Timeout, conditions)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_initial_state(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+        with pytest.raises(AttributeError):
+            _ = ev.value
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.fail(ValueError("x"))
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_marks_not_ok(self, env):
+        ev = env.event()
+        exc = ValueError("boom")
+        ev.fail(exc)
+        ev.defused = True
+        assert not ev.ok
+        assert ev.value is exc
+        env.run()
+
+    def test_trigger_copies_state(self, env):
+        src = env.event()
+        dst = env.event()
+        src.succeed("payload")
+        dst.trigger(src)
+        assert dst.value == "payload"
+
+    def test_callbacks_run_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        env.run()
+        assert seen == ["x"]
+        assert ev.processed
+
+    def test_repr_states(self, env):
+        ev = env.event()
+        assert "pending" in repr(ev)
+        ev.succeed()
+        assert "triggered" in repr(ev)
+        env.run()
+        assert "processed" in repr(ev)
+
+
+class TestTimeout:
+    def test_timeout_carries_value(self, env):
+        results = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="tick")
+            results.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert results == ["tick"]
+
+    def test_delay_property(self, env):
+        assert env.timeout(2.5).delay == 2.5
+
+
+class TestConditions:
+    def test_all_of_empty_succeeds_immediately(self, env):
+        cond = env.all_of([])
+        assert cond.triggered
+        assert cond.value == {}
+
+    def test_any_of_value_maps_processed_events(self, env):
+        def proc(env):
+            fast = env.timeout(1.0, value="f")
+            slow = env.timeout(2.0, value="s")
+            result = yield env.any_of([fast, slow])
+            return {k.delay: v for k, v in result.items()}
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {1.0: "f"}
+
+    def test_all_of_failure_propagates(self, env):
+        def failer(env):
+            yield env.timeout(1.0)
+            raise ValueError("child died")
+
+        def waiter(env):
+            child = env.process(failer(env))
+            ok = env.timeout(5.0)
+            try:
+                yield env.all_of([child, ok])
+            except ValueError:
+                return "caught"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_condition_rejects_cross_environment_events(self, env):
+        other = Environment()
+        foreign = other.event()
+        with pytest.raises(ValueError):
+            env.all_of([foreign])
+
+    def test_late_failure_after_any_of_is_defused(self, env):
+        """A loser that fails after the condition fired must not crash."""
+
+        def failer(env):
+            yield env.timeout(2.0)
+            raise ValueError("late loser")
+
+        def waiter(env):
+            fast = env.timeout(0.5, value="ok")
+            loser = env.process(failer(env))
+            result = yield env.any_of([fast, loser])
+            return list(result.values())
+
+        p = env.process(waiter(env))
+        env.run()  # must not raise
+        assert p.value == ["ok"]

@@ -1,0 +1,250 @@
+"""Tests for processes, joining, and interrupt semantics."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 41 + 1
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 42
+
+
+def test_join_waits_for_child():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5.0)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (env.now, result)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (5.0, "child-result")
+
+
+def test_is_alive_reflects_state():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            seen.append((env.now, exc.cause))
+
+    def killer(env, target):
+        yield env.timeout(3.0)
+        target.interrupt(cause="too-slow")
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert seen == [(3.0, "too-slow")]
+
+
+def test_interrupt_detaches_from_waited_event():
+    """After an interrupt, the original timeout must not resume the process."""
+    env = Environment()
+    resumes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(10.0)
+            resumes.append("timeout-fired")
+        except Interrupt:
+            resumes.append("interrupted")
+        yield env.timeout(20.0)
+        resumes.append("second-wait-done")
+
+    def killer(env, target):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert resumes == ["interrupted", "second-wait-done"]
+    assert env.now == 21.0
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    p = env.process(proc(env))
+    env.run()
+    with pytest.raises(RuntimeError, match="terminated"):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    errors = []
+
+    def proc(env):
+        try:
+            env.active_process.interrupt()
+        except RuntimeError as exc:
+            errors.append(str(exc))
+        yield env.timeout(0)
+
+    env.process(proc(env))
+    env.run()
+    assert errors and "interrupt itself" in errors[0]
+
+
+def test_uncaught_interrupt_kills_process():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(100.0)
+
+    def killer(env, target):
+        yield env.timeout(1.0)
+        target.interrupt("die")
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert target.triggered
+    assert not target.ok
+    assert isinstance(target.value, Interrupt)
+
+
+def test_finally_runs_on_interrupt():
+    """try/finally cleanup is the cancellation-safety mechanism."""
+    env = Environment()
+    cleanup = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        finally:
+            cleanup.append(env.now)
+
+    def killer(env, target):
+        yield env.timeout(2.5)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert cleanup == [2.5]
+
+
+def test_interrupt_race_with_completion_is_ignored():
+    """If the victim finishes at the same instant, the interrupt is a no-op."""
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(1.0)
+        return "finished"
+
+    def killer(env, target):
+        yield env.timeout(1.0)
+        if target.is_alive:
+            target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert target.value == "finished"
+
+
+def test_multiple_interrupts_queue_up():
+    env = Environment()
+    causes = []
+
+    def victim(env):
+        for _ in range(2):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as exc:
+                causes.append(exc.cause)
+
+    def killer(env, target):
+        yield env.timeout(1.0)
+        target.interrupt("first")
+        target.interrupt("second")
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert causes == ["first", "second"]
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_nested_subgenerator_with_yield_from():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1.0)
+        return "inner-value"
+
+    def outer(env):
+        value = yield from inner(env)
+        yield env.timeout(1.0)
+        return value + "-seen"
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == "inner-value-seen"
+    assert env.now == 2.0
+
+
+def test_any_of_wakes_on_first():
+    env = Environment()
+
+    def proc(env):
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(10.0, value="slow")
+        result = yield env.any_of([fast, slow])
+        return list(result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ["fast"]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(5.0, value="b")
+        result = yield env.all_of([a, b])
+        return (env.now, sorted(result.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5.0, ["a", "b"])

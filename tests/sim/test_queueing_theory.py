@@ -1,0 +1,86 @@
+"""Validation of the simulation substrate against queueing theory.
+
+If the kernel and the worker-pool primitive are correct, an M/M/1 and an
+M/M/c system built from them must match the analytic formulas for mean
+sojourn time and utilization.  These are the strongest cheap checks that
+the substrate the whole reproduction stands on is sound.
+"""
+
+import math
+
+import pytest
+
+from repro.sim import Environment, Rng
+from repro.sim.resources import ThreadPool
+
+
+def run_mmc(servers, arrival_rate, service_rate, duration=400.0, seed=7):
+    """Simulate an M/M/c queue; returns (mean_sojourn, busy_fraction)."""
+    env = Environment()
+    rng = Rng(seed)
+    arrivals = rng.fork("arrivals")
+    services = rng.fork("services")
+    pool = ThreadPool(env, "mmc", workers=servers)
+    sojourns = []
+
+    def customer(env):
+        start = env.now
+        with pool.submit(owner=object()) as slot:
+            yield slot
+            yield env.timeout(services.exponential(1.0 / service_rate))
+        sojourns.append(env.now - start)
+
+    def source(env):
+        while True:
+            yield env.timeout(arrivals.exponential(1.0 / arrival_rate))
+            env.process(customer(env))
+
+    env.process(source(env))
+    env.run(until=duration)
+    # Discard warm-up third.
+    steady = sojourns[len(sojourns) // 3:]
+    mean_sojourn = sum(steady) / len(steady)
+    busy_fraction = pool.total_busy_time / (duration * servers)
+    return mean_sojourn, busy_fraction
+
+
+def erlang_c(c, a):
+    """Probability of waiting in an M/M/c queue (a = lambda/mu offered load)."""
+    summation = sum(a**k / math.factorial(k) for k in range(c))
+    top = a**c / (math.factorial(c) * (1 - a / c))
+    return top / (summation + top)
+
+
+class TestMM1:
+    def test_mean_sojourn_matches_formula(self):
+        # lambda=60, mu=100 -> W = 1/(mu-lambda) = 25 ms.
+        mean, _ = run_mmc(1, arrival_rate=60.0, service_rate=100.0)
+        assert mean == pytest.approx(1.0 / 40.0, rel=0.15)
+
+    def test_utilization_matches_rho(self):
+        _, busy = run_mmc(1, arrival_rate=60.0, service_rate=100.0)
+        assert busy == pytest.approx(0.6, rel=0.1)
+
+    def test_low_load_sojourn_is_service_time(self):
+        mean, _ = run_mmc(1, arrival_rate=5.0, service_rate=100.0)
+        assert mean == pytest.approx(1.0 / 100.0 / (1 - 0.05), rel=0.15)
+
+
+class TestMMC:
+    def test_mm4_mean_sojourn_matches_erlang_c(self):
+        # lambda=300, mu=100, c=4 -> a=3, rho=0.75.
+        lam, mu, c = 300.0, 100.0, 4
+        a = lam / mu
+        wait = erlang_c(c, a) / (c * mu - lam)
+        expected = wait + 1.0 / mu
+        mean, _ = run_mmc(c, arrival_rate=lam, service_rate=mu)
+        assert mean == pytest.approx(expected, rel=0.15)
+
+    def test_mm4_utilization(self):
+        _, busy = run_mmc(4, arrival_rate=300.0, service_rate=100.0)
+        assert busy == pytest.approx(0.75, rel=0.1)
+
+    def test_heavier_load_waits_longer(self):
+        light, _ = run_mmc(2, arrival_rate=80.0, service_rate=100.0)
+        heavy, _ = run_mmc(2, arrival_rate=170.0, service_rate=100.0)
+        assert heavy > light * 1.5

@@ -1,0 +1,71 @@
+"""Tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.sim import Rng
+
+
+def test_same_seed_same_stream():
+    a, b = Rng(7), Rng(7)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    assert [Rng(1).random() for _ in range(5)] != [
+        Rng(2).random() for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic():
+    a = Rng(7).fork("arrivals")
+    b = Rng(7).fork("arrivals")
+    assert a.random() == b.random()
+
+
+def test_fork_streams_are_independent():
+    parent = Rng(7)
+    child = parent.fork("x")
+    before = child.random()
+    # Draining the parent must not change the child's future draws.
+    parent2 = Rng(7)
+    for _ in range(100):
+        parent2.random()
+    child2 = parent2.fork("x")
+    assert child2.random() == before
+
+
+def test_exponential_mean_is_roughly_right():
+    rng = Rng(3)
+    samples = [rng.exponential(2.0) for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    assert 1.9 < mean < 2.1
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        Rng(0).exponential(0.0)
+
+
+def test_pareto_respects_minimum_and_cap():
+    rng = Rng(5)
+    samples = [rng.pareto(1.0, alpha=1.2, cap=50.0) for _ in range(5000)]
+    assert all(1.0 <= s <= 50.0 for s in samples)
+    assert max(samples) == 50.0  # heavy tail hits the cap
+
+
+def test_chance_extremes():
+    rng = Rng(1)
+    assert not any(rng.chance(0.0) for _ in range(100))
+    assert all(rng.chance(1.0) for _ in range(100))
+
+
+def test_weighted_choice_respects_weights():
+    rng = Rng(9)
+    draws = [rng.weighted_choice(["a", "b"], [0.99, 0.01]) for _ in range(1000)]
+    assert draws.count("a") > 900
+
+
+def test_randint_bounds_inclusive():
+    rng = Rng(2)
+    draws = {rng.randint(1, 3) for _ in range(200)}
+    assert draws == {1, 2, 3}

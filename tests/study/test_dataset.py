@@ -1,0 +1,61 @@
+"""Tests that the survey dataset regenerates Table 1 exactly."""
+
+import pytest
+
+from repro.study import (
+    SurveyedApp,
+    TABLE1_TARGETS,
+    build_dataset,
+    table1,
+    table1_totals,
+)
+
+
+def test_dataset_has_151_apps():
+    assert len(build_dataset()) == 151
+
+
+def test_table1_rows_match_paper():
+    rows = {r.language: r for r in table1()}
+    for language, (total, supporting, initiator) in TABLE1_TARGETS.items():
+        row = rows[language]
+        assert row.applications == total
+        assert row.supporting_cancel == supporting
+        assert row.with_initiator == initiator
+
+
+def test_table1_totals_match_paper():
+    totals = table1_totals()
+    assert totals.applications == 151
+    assert totals.supporting_cancel == 115
+    assert totals.with_initiator == 109
+
+
+def test_paper_percentages():
+    totals = table1_totals()
+    # 76% of applications support cancellation...
+    assert round(100 * totals.supporting_cancel / totals.applications) == 76
+    # ...and 95% of those expose a cancellation initiator.
+    assert round(100 * totals.with_initiator / totals.supporting_cancel) == 95
+
+
+def test_initiator_implies_support_everywhere():
+    for app in build_dataset():
+        if app.has_initiator:
+            assert app.supports_cancel
+
+
+def test_invalid_entry_rejected():
+    with pytest.raises(ValueError):
+        SurveyedApp("bad", "Go", "x", supports_cancel=False, has_initiator=True)
+
+
+def test_unique_names():
+    names = [a.name for a in build_dataset()]
+    assert len(names) == len(set(names))
+
+
+def test_known_apps_present():
+    names = {a.name for a in build_dataset()}
+    for expected in ("mysql", "postgresql", "elasticsearch", "solr", "etcd"):
+        assert expected in names

@@ -1,0 +1,78 @@
+"""Tests for the CLI (`python -m repro`) and report generation."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.reporting import DEFAULT_ORDER, render_report, run_experiments
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig10", "--full", "--seed", "3"]
+        )
+        assert args.experiment == "fig10"
+        assert args.full
+        assert args.seed == 3
+
+    def test_case_validates_system_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["case", "c1", "--system", "bogus"])
+
+
+class TestCommands:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table1" in out
+
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_table_experiment(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "c16" in out
+
+    def test_case_unknown_exits_2(self):
+        assert main(["case", "c99"]) == 2
+
+    def test_case_runs_end_to_end(self, capsys):
+        assert main(["case", "c16", "--system", "overload"]) == 0
+        out = capsys.readouterr().out
+        assert "norm_tput" in out
+
+
+class TestReporting:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["nope"])
+
+    def test_run_and_render_tables_only(self):
+        results = run_experiments(["table1", "table2"], quick=True)
+        report = render_report(results)
+        assert "151" in report
+        assert "c16" in report
+        # Order follows the paper's artifact order.
+        assert report.index("table1") < report.index("table2")
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        run_experiments(
+            ["table1"], progress=lambda exp, dt: seen.append(exp)
+        )
+        assert seen == ["table1"]
+
+    def test_default_order_covers_all_paper_artifacts(self):
+        assert set(DEFAULT_ORDER) == {
+            "fig2", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "table1", "table2", "table3",
+        }

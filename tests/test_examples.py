@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are a deliverable; these tests keep them working as the
+library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_examples_directory_has_at_least_three():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_shows_cancellation():
+    result = run_example("quickstart.py")
+    assert "cancelled 'dump'" in result.stdout
+    assert "p99 improvement" in result.stdout
+
+
+def test_compare_systems_accepts_case_argument():
+    result = run_example("compare_systems.py", "c16")
+    assert result.returncode == 0
+    assert "atropos" in result.stdout
+
+
+def test_compare_systems_rejects_unknown_case():
+    result = run_example("compare_systems.py", "c99")
+    assert result.returncode != 0

@@ -1,0 +1,220 @@
+"""Tests for the request-lifecycle driver: all unwind paths."""
+
+import pytest
+
+from repro.apps.base import Application, Operation
+from repro.core import BaseController, CancelSignal, NullController
+from repro.core.types import DropRequest, DropSignal
+from repro.sim import Environment, MetricsCollector, RequestStatus, Rng
+from repro.workloads import Driver
+
+
+class ScriptedApp(Application):
+    """App whose single op runs a configurable script."""
+
+    name = "scripted"
+
+    def __init__(self, env, controller, rng, script):
+        super().__init__(env, controller, rng)
+        self.script = script
+        self.executions = 0
+        self.register_handler("op", self.handle)
+
+    def handle(self, task, **params):
+        self.executions += 1
+        yield from self.script(self, task, self.executions)
+
+
+
+def interrupt_soon(app, task, cause, delay=0.05):
+    """Deliver an interrupt from a separate process (self-interrupt is
+    forbidden by the kernel, as in the real system: cancel decisions come
+    from the controller's monitor, not the victim)."""
+    proc = task.process
+
+    def killer(env):
+        yield env.timeout(delay)
+        if proc.is_alive:
+            proc.interrupt(cause)
+
+    app.env.process(killer(app.env))
+
+
+def setup(script, controller_cls=NullController):
+    env = Environment()
+    controller = controller_cls(env)
+    app = ScriptedApp(env, controller, Rng(0), script)
+    collector = MetricsCollector()
+    driver = Driver(env, app, controller, collector)
+    return env, controller, app, collector, driver
+
+
+def test_completion_recorded():
+    def script(app, task, n):
+        yield app.env.timeout(0.5)
+
+    env, controller, app, collector, driver = setup(script)
+    driver.submit(Operation("op"))
+    env.run()
+    [record] = collector.records
+    assert record.status is RequestStatus.COMPLETED
+    assert record.latency == pytest.approx(0.5)
+    assert record.retries == 0
+
+
+def test_drop_request_recorded_as_dropped():
+    def script(app, task, n):
+        yield app.env.timeout(0.1)
+        raise DropRequest("test")
+
+    env, controller, app, collector, driver = setup(script)
+    driver.submit(Operation("op"))
+    env.run()
+    [record] = collector.records
+    assert record.status is RequestStatus.DROPPED
+
+
+def test_admission_rejection_recorded_as_dropped():
+    class RejectingController(NullController):
+        def admit(self, op_name, client_id):
+            return False
+
+    def script(app, task, n):  # pragma: no cover - never runs
+        yield app.env.timeout(0.1)
+
+    env, controller, app, collector, driver = setup(
+        script, RejectingController
+    )
+    driver.submit(Operation("op"))
+    env.run()
+    [record] = collector.records
+    assert record.status is RequestStatus.DROPPED
+    assert app.executions == 0
+
+
+def test_cancel_signal_triggers_reexecution():
+    """First execution cancelled; gate retries; second completes."""
+
+    def script(app, task, n):
+        if n == 1:
+            # Simulate an in-flight cancellation at the next checkpoint.
+            interrupt_soon(app, task, CancelSignal(reason="test"))
+        yield app.env.timeout(0.2)
+
+    env, controller, app, collector, driver = setup(script)
+    driver.submit(Operation("op"))
+    env.run()
+    [record] = collector.records
+    assert record.status is RequestStatus.COMPLETED
+    assert record.retries == 1
+    assert app.executions == 2
+
+
+def test_reexecuted_task_is_non_cancellable():
+    seen = []
+
+    def script(app, task, n):
+        seen.append(task.cancellable)
+        if n == 1:
+            interrupt_soon(app, task, CancelSignal())
+        yield app.env.timeout(0.2)
+
+    env, controller, app, collector, driver = setup(script)
+    driver.submit(Operation("op", cancellable=True))
+    env.run()
+    assert seen == [True, False]
+
+
+def test_gate_drop_records_cancelled():
+    class DroppingGateController(NullController):
+        def reexecution_gate(self, task, arrival_time):
+            return "drop"
+            yield  # pragma: no cover
+
+    def script(app, task, n):
+        interrupt_soon(app, task, CancelSignal())
+        yield app.env.timeout(0.2)
+
+    env, controller, app, collector, driver = setup(
+        script, DroppingGateController
+    )
+    driver.submit(Operation("op"))
+    env.run()
+    [record] = collector.records
+    assert record.status is RequestStatus.CANCELLED
+    assert app.executions == 1
+
+
+def test_drop_signal_is_terminal():
+    """Protego-style victim drop: no retry, recorded DROPPED."""
+
+    def script(app, task, n):
+        interrupt_soon(app, task, DropSignal(reason="victim"))
+        yield app.env.timeout(0.2)
+
+    env, controller, app, collector, driver = setup(script)
+    driver.submit(Operation("op"))
+    env.run()
+    [record] = collector.records
+    assert record.status is RequestStatus.DROPPED
+    assert app.executions == 1
+
+
+def test_foreign_interrupt_propagates():
+    """Interrupts that are neither cancel nor drop signals are bugs."""
+
+    def script(app, task, n):
+        interrupt_soon(app, task, "mystery")
+        yield app.env.timeout(0.2)
+
+    env, controller, app, collector, driver = setup(script)
+    driver.submit(Operation("op"))
+    with pytest.raises(Exception):
+        env.run()
+
+
+def test_completion_feeds_controller():
+    observed = []
+
+    class ObservingController(NullController):
+        def observe_completion(self, record):
+            observed.append(record)
+
+    def script(app, task, n):
+        yield app.env.timeout(0.1)
+
+    env, controller, app, collector, driver = setup(
+        script, ObservingController
+    )
+    driver.submit(Operation("op"))
+    env.run()
+    assert len(observed) == 1
+
+
+def test_task_freed_after_every_outcome():
+    def script(app, task, n):
+        yield app.env.timeout(0.1)
+
+    env, controller, app, collector, driver = setup(script)
+    for _ in range(3):
+        driver.submit(Operation("op"))
+    env.run()
+    assert controller.live_tasks() == []
+    assert driver.inflight == 0
+
+
+def test_offered_counts_all_submissions():
+    class RejectingController(NullController):
+        def admit(self, op_name, client_id):
+            return False
+
+    def script(app, task, n):  # pragma: no cover
+        yield app.env.timeout(0.1)
+
+    env, controller, app, collector, driver = setup(
+        script, RejectingController
+    )
+    for _ in range(5):
+        driver.submit(Operation("op"))
+    env.run()
+    assert collector.offered == 5

@@ -1,0 +1,172 @@
+"""Tests for connection-scoped cancellable tasks (§3.1 / Figure 7)."""
+
+import pytest
+
+from repro.apps.base import Operation
+from repro.apps.mysql import MySQL, light_mix
+from repro.core import Atropos, AtroposConfig
+from repro.experiments import run_simulation
+from repro.sim import RequestStatus
+from repro.workloads import (
+    ConnectionSource,
+    MixEntry,
+    OpenLoopSource,
+    Workload,
+)
+
+
+def mysql_factory(env, controller, rng):
+    return MySQL(env, controller, rng)
+
+
+def op_entry(name, params=None, weight=1.0):
+    return MixEntry(
+        factory=lambda: Operation(name, dict(params or {})), weight=weight
+    )
+
+
+class TestConnectionLifecycle:
+    def test_ops_run_under_one_task_key(self):
+        seen_keys = set()
+
+        def workload(app, rng):
+            return Workload(
+                [
+                    ConnectionSource(
+                        connections=2, mix=[op_entry("point_select")]
+                    )
+                ]
+            )
+
+        result = run_simulation(mysql_factory, workload, duration=2.0)
+        completed = [
+            r for r in result.collector.records if r.completed
+        ]
+        assert len(completed) > 100
+        assert {r.client_id for r in completed} == {"conn-0", "conn-1"}
+
+    def test_think_time_paces_connections(self):
+        def workload(think):
+            def build(app, rng):
+                return Workload(
+                    [
+                        ConnectionSource(
+                            connections=2,
+                            mix=[op_entry("point_select")],
+                            think_time=think,
+                        )
+                    ]
+                )
+
+            return build
+
+        eager = run_simulation(mysql_factory, workload(0.0), duration=2.0)
+        lazy = run_simulation(mysql_factory, workload(0.2), duration=2.0)
+        assert lazy.summary.completed < eager.summary.completed / 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionSource(connections=0, mix=[op_entry("point_select")])
+        with pytest.raises(ValueError):
+            ConnectionSource(connections=1, mix=[])
+        with pytest.raises(ValueError):
+            ConnectionSource(
+                connections=1,
+                mix=[op_entry("point_select")],
+                reconnect_delay=-1.0,
+            )
+
+
+class TestConnectionCancellation:
+    def analytics_workload(self, app, rng):
+        """One connection repeatedly issuing heavy scans + light traffic."""
+        return Workload(
+            [
+                OpenLoopSource(rate=300.0, mix=light_mix(rng)),
+                ConnectionSource(
+                    connections=1,
+                    mix=[op_entry("scan", {"table": 0, "rows": 2e6})],
+                    client_prefix="analytics",
+                    start_time=2.0,
+                ),
+            ]
+        )
+
+    def test_atropos_cancels_the_connection(self):
+        result = run_simulation(
+            mysql_factory,
+            self.analytics_workload,
+            controller_factory=lambda env: Atropos(
+                env, AtroposConfig(slo_latency=0.02)
+            ),
+            duration=10.0,
+            warmup=2.0,
+        )
+        atropos = result.controller
+        cancelled = [
+            e for e in atropos.cancellation.log if e.task_key == "analytics-0"
+        ]
+        assert cancelled, "the analytics connection was never cancelled"
+        # The connection's in-flight scan is recorded as cancelled...
+        statuses = {
+            r.status
+            for r in result.collector.records
+            if r.client_id == "analytics-0"
+        }
+        assert RequestStatus.CANCELLED in statuses
+        # ...and the reconnected session (non-cancellable) may continue.
+        assert result.p99_latency < 0.15
+
+    def test_reconnected_session_is_non_cancellable(self):
+        result = run_simulation(
+            mysql_factory,
+            self.analytics_workload,
+            controller_factory=lambda env: Atropos(
+                env, AtroposConfig(slo_latency=0.02)
+            ),
+            duration=12.0,
+            warmup=2.0,
+        )
+        cancels_of_connection = [
+            e
+            for e in result.controller.cancellation.log
+            if e.task_key == "analytics-0"
+        ]
+        # Fairness: the connection is cancelled at most once.
+        assert len(cancels_of_connection) <= 1
+
+
+class TestThinkTimeCancellation:
+    def test_cancel_during_think_time_loses_no_op(self):
+        """A cancellation landing in think time must not double-record
+        the previous (completed) operation as cancelled."""
+        from repro.core import CancelSignal
+        from repro.sim import Environment, MetricsCollector, Rng
+        from repro.core.controller import BaseController
+        from repro.workloads import Driver
+
+        env = Environment()
+        controller = BaseController(env)
+        app = MySQL(env, controller, Rng(0))
+        driver = Driver(env, app, controller, MetricsCollector())
+        source = ConnectionSource(
+            connections=1,
+            mix=[op_entry("point_select")],
+            think_time=1.0,  # long think: cancellation lands there
+        )
+        driver.run_workload(Workload([source]))
+
+        def killer(env):
+            yield env.timeout(0.5)  # mid-think
+            for task in controller.live_tasks():
+                task.begin_cancel(CancelSignal(reason="test"))
+                task.process.interrupt(task.cancel_signal)
+
+        env.process(killer(env))
+        env.run(until=3.0)
+        records = driver.collector.records
+        cancelled = [r for r in records if r.status is RequestStatus.CANCELLED]
+        assert cancelled == []
+        completed = [r for r in records if r.completed]
+        # The connection reconnected and kept issuing ops afterwards.
+        assert any(r.finish_time > 0.6 for r in completed)
