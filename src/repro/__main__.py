@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig10 [--full] [--seed N]
     python -m repro all [--full] [--output FILE]
     python -m repro case c5 [--system atropos] [--seed N]
+    python -m repro trace fig3 --out trace.json [--util util.csv]
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .experiments import ALL_EXPERIMENTS
+from .experiments import ALL_EXPERIMENTS, resolve_experiment_id
 from .reporting import DEFAULT_ORDER, render_report, run_experiments
 
 
@@ -98,6 +99,46 @@ def cmd_case(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .obs import (
+        Tracer,
+        render_trace_summary,
+        tracing,
+        write_audit_json,
+        write_chrome_trace,
+        write_utilization_csv,
+    )
+
+    exp_id = resolve_experiment_id(args.experiment)
+    if exp_id is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    out = args.out or f"{exp_id}-trace.json"
+    tracer = Tracer(max_runs=None if args.all_runs else 1)
+    with tracing(tracer):
+        results = run_experiments(
+            [exp_id], quick=not args.full, seed=args.seed
+        )
+    print(results[exp_id].format())
+    print()
+    write_chrome_trace(tracer, out)
+    print(f"chrome trace written to {out} "
+          "(load in chrome://tracing or ui.perfetto.dev)")
+    if args.util:
+        write_utilization_csv(tracer, args.util)
+        print(f"utilization CSV written to {args.util}")
+    if args.audit:
+        write_audit_json(tracer.audits, args.audit)
+        print(f"decision audits written to {args.audit}")
+    print()
+    print(render_trace_summary(tracer))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,6 +181,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the last N decision-timeline events (atropos only)",
     )
     p_case.set_defaults(func=cmd_case)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one experiment with tracing enabled"
+    )
+    p_trace.add_argument(
+        "experiment", help="e.g. fig3 or fig3_lock_contention"
+    )
+    p_trace.add_argument(
+        "--out", help="chrome-trace output path "
+        "(default: <experiment>-trace.json)"
+    )
+    p_trace.add_argument(
+        "--util", metavar="FILE",
+        help="also write per-resource utilization counters as CSV",
+    )
+    p_trace.add_argument(
+        "--audit", metavar="FILE",
+        help="also write the cancellation decision audits as JSON",
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--full", action="store_true",
+                         help="full sweeps instead of quick mode")
+    p_trace.add_argument(
+        "--all-runs", action="store_true",
+        help="trace every run of the sweep (default: first run only)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional
 from ..core.controller import BaseController
 from ..core.task import CancellableTask
 from ..core.types import DropRequest, ResourceHandle, ResourceType, TaskKind
+from ..obs.tracer import owner_label
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
@@ -58,6 +59,7 @@ class Application:
         self.env = env
         self.controller = controller
         self.rng = rng
+        self._tracer = env.tracer
         self._handlers: Dict[str, Handler] = {}
         #: Count of instrumentation sites (tracing calls wired into this
         #: app); reported in the Table 3 integration-effort experiment.
@@ -192,6 +194,14 @@ class Application:
             # Admission queue overflow is an application-level rejection
             # (HTTP 503 / too-many-connections), not a simulation error.
             self.controller.end_wait(task, handle)
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    self.env.now,
+                    "app",
+                    f"queue-full {handle.name}",
+                    f"app:{self.name}",
+                    task=owner_label(task),
+                )
             raise DropRequest(f"queue-full:{handle.name}") from exc
         except BaseException:
             self.controller.end_wait(task, handle)
@@ -214,9 +224,27 @@ class Application:
         tracing-overhead debt.  Handlers call this at natural safe points.
         """
         if self.controller.should_drop(task):
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    self.env.now,
+                    "app",
+                    "controller-drop",
+                    f"app:{self.name}",
+                    task=owner_label(task),
+                )
             raise DropRequest("controller-drop")
         delay = self.controller.throttle_delay(task)
         debt = task.metadata.pop("trace_debt", 0.0)
         total = delay + debt
         if total > 0.0:
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    self.env.now,
+                    "app",
+                    "checkpoint-delay",
+                    f"app:{self.name}",
+                    task=owner_label(task),
+                    throttle=round(delay, 9),
+                    trace_debt=round(debt, 9),
+                )
             yield self.env.timeout(total)

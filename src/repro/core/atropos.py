@@ -13,7 +13,14 @@ from typing import TYPE_CHECKING, Optional
 from .cancellation import CancellationManager
 from .config import AtroposConfig
 from .controller import BaseController
-from .decision_log import DecisionKind, DecisionLog
+from .decision_log import (
+    CandidateEvidence,
+    DecisionAudit,
+    DecisionKind,
+    DecisionLog,
+    DetectorSignal,
+    ResourceEvidence,
+)
 from .detector import OverloadDetector
 from .estimator import Estimator, OverloadAssessment
 from .policy import CancellationPolicy, MultiObjectivePolicy
@@ -150,18 +157,19 @@ class Atropos(BaseController):
         cfg = self.config
         while True:
             yield self.env.timeout(cfg.detection_period)
+            oldest_age = self._oldest_request_age()
             potential_overload = self.detector.check(
-                oldest_inflight_age=self._oldest_request_age()
+                oldest_inflight_age=oldest_age
             )
             # Two-mode tracing: fine-grained while overload is suspected.
             self.runtime.set_fine_mode(potential_overload)
             if potential_overload:
-                self._handle_potential_overload()
+                self._handle_potential_overload(oldest_age)
             else:
                 self._regular_overload_active = False
             self.runtime.roll_window()
 
-    def _handle_potential_overload(self) -> None:
+    def _handle_potential_overload(self, oldest_age: float = 0.0) -> None:
         now = self.env.now
         sample = self.detector.history[-1] if self.detector.history else None
         self.decision_log.record(
@@ -177,6 +185,7 @@ class Atropos(BaseController):
             use_future_gain=self.policy.uses_future_gain,
         )
         self.last_assessment = assessment
+        audit = self._start_audit(now, sample, oldest_age, assessment)
         hottest = assessment.most_contended()
         if not assessment.is_resource_overload:
             # Regular (demand) overload: out of scope for cancellation;
@@ -192,11 +201,16 @@ class Atropos(BaseController):
                 if hottest
                 else None,
             )
+            audit.verdict = "regular-overload"
+            self._finish_audit(audit)
             return
         self._regular_overload_active = False
         culprit_resource = next(
             (r for r in assessment.resources if r.overloaded and r.concentrated),
             hottest,
+        )
+        audit.culprit_resource = (
+            culprit_resource.resource.name if culprit_resource else None
         )
         self.decision_log.record(
             now,
@@ -213,8 +227,14 @@ class Atropos(BaseController):
             self.decision_log.record(
                 now, DecisionKind.CANCEL_BLOCKED, "no cancellable candidate"
             )
+            audit.verdict = "no-candidate"
+            self._finish_audit(audit)
             return
         task, score = selection
+        for candidate in audit.candidates:
+            if candidate.task_key == task.key:
+                candidate.selected = True
+                candidate.score = score
         cancelled = self.cancellation.cancel(
             task,
             resource=hottest.resource if hottest else None,
@@ -230,12 +250,107 @@ class Atropos(BaseController):
                 score=round(score, 2),
                 progress=round(task.progress(), 2),
             )
+            audit.verdict = "cancelled"
+            audit.cancelled_task_key = task.key
+            audit.cancelled_op_name = task.op_name
         else:
             self.decision_log.record(
                 now,
                 DecisionKind.CANCEL_BLOCKED,
                 f"cancel of {task.op_name!r} blocked",
                 in_cooldown=self.cancellation.in_cooldown,
+            )
+            audit.verdict = "cancel-blocked"
+            audit.blocked_reason = (
+                "cooldown" if self.cancellation.in_cooldown else "task-state"
+            )
+        self._finish_audit(audit)
+
+    # ------------------------------------------------------------------
+    # Decision-audit trail
+    # ------------------------------------------------------------------
+    def _start_audit(
+        self, now: float, sample, oldest_age: float, assessment
+    ) -> DecisionAudit:
+        """Snapshot the evidence behind this detection cycle."""
+        weights = {
+            r.resource: r.contention_norm for r in assessment.resources
+        }
+        candidates = []
+        for report in assessment.tasks:
+            task = report.task
+            gains = {
+                resource.name: gain
+                for resource, gain in sorted(
+                    report.gains.items(), key=lambda item: item[0].name
+                )
+            }
+            # The contention-weighted scalarization every policy's ranking
+            # evidence is reported in (§3.5), whether or not the active
+            # policy ultimately used it.
+            score = sum(
+                weights.get(resource, 0.0) * gain
+                for resource, gain in report.gains.items()
+            )
+            candidates.append(
+                CandidateEvidence(
+                    task_key=task.key,
+                    op_name=task.op_name,
+                    client_id=task.client_id,
+                    kind=task.kind.value,
+                    age=round(task.age, 6),
+                    progress=round(report.progress, 6),
+                    cancellable=task.cancellable,
+                    gains={k: round(v, 9) for k, v in gains.items()},
+                    score=round(score, 9),
+                )
+            )
+        candidates.sort(key=lambda c: (-(c.score or 0.0), str(c.task_key)))
+        return DecisionAudit(
+            time=now,
+            detector=DetectorSignal(
+                tail_latency=sample.tail_latency if sample else None,
+                throughput=sample.throughput if sample else None,
+                samples=sample.samples if sample else None,
+                oldest_inflight_age=oldest_age,
+            ),
+            resources=[
+                ResourceEvidence(
+                    resource=r.resource.name,
+                    rtype=r.resource.rtype.value,
+                    contention_raw=round(r.contention_raw, 9),
+                    contention_norm=round(r.contention_norm, 9),
+                    threshold=self.config.threshold_for(r.resource.name),
+                    overloaded=r.overloaded,
+                    concentrated=r.concentrated,
+                    gain_skew=r.gain_skew
+                    if r.gain_skew != float("inf")
+                    else -1.0,
+                )
+                for r in assessment.resources
+            ],
+            candidates=candidates,
+            verdict="pending",
+        )
+
+    def _finish_audit(self, audit: DecisionAudit) -> None:
+        """Record the audit and mirror it into the run's tracer."""
+        self.decision_log.record_audit(audit)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            payload = audit.to_payload()
+            tracer.audit(payload)
+            tracer.instant(
+                audit.time,
+                "decision",
+                f"{audit.verdict}"
+                + (
+                    f" {audit.cancelled_op_name}#{audit.cancelled_task_key}"
+                    if audit.verdict == "cancelled"
+                    else ""
+                ),
+                "atropos:decisions",
+                audit=payload,
             )
 
     # ------------------------------------------------------------------

@@ -7,12 +7,21 @@ table stakes for an overload controller anyone would deploy.
 
 Enabled by default (events are tiny); render with
 :meth:`DecisionLog.render` or query with :meth:`DecisionLog.events_of`.
+
+Beyond the flat event timeline, the log also keeps a **decision-audit
+trail**: one :class:`DecisionAudit` per detector trigger, carrying the
+full evidence chain that produced the verdict -- the detector signal
+(tail latency, throughput, head-of-line age), the per-resource
+contention reports, the candidate ranking with per-resource gains, and
+the final verdict (cancelled / blocked / regular overload).  Audits are
+what ``repro trace --audit`` exports and what the acceptance invariant
+"every cancellation has an audit record" is checked against.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
 
@@ -49,8 +58,78 @@ class DecisionEvent:
         return f"t={self.time:8.3f}s  {self.kind.value:<14}  {self.summary}{extras}"
 
 
+@dataclass
+class DetectorSignal:
+    """The detector observation that triggered an audit cycle."""
+
+    tail_latency: Optional[float]
+    throughput: Optional[float]
+    samples: Optional[int]
+    oldest_inflight_age: float
+
+
+@dataclass
+class ResourceEvidence:
+    """Estimator output for one resource, as recorded in an audit."""
+
+    resource: str
+    rtype: str
+    contention_raw: float
+    contention_norm: float
+    threshold: float
+    overloaded: bool
+    concentrated: bool
+    gain_skew: float
+
+
+@dataclass
+class CandidateEvidence:
+    """One ranked cancellation candidate with its estimator inputs."""
+
+    task_key: Any
+    op_name: str
+    client_id: str
+    kind: str
+    age: float
+    progress: float
+    cancellable: bool
+    #: resource name -> expected gain from cancelling this task.
+    gains: Dict[str, float] = field(default_factory=dict)
+    #: Contention-weighted scalarized score (None if not scored, e.g.
+    #: dominated candidates under Algorithm 1).
+    score: Optional[float] = None
+    selected: bool = False
+
+
+@dataclass
+class DecisionAudit:
+    """Full evidence chain for one detector trigger -> verdict cycle.
+
+    ``verdict`` is one of ``"cancelled"``, ``"cancel-blocked"``,
+    ``"no-candidate"``, or ``"regular-overload"``.
+    """
+
+    time: float
+    detector: DetectorSignal
+    resources: List[ResourceEvidence]
+    candidates: List[CandidateEvidence]
+    verdict: str
+    #: Name of the contended resource the verdict names (None when the
+    #: window was classified as regular overload with no clear culprit).
+    culprit_resource: Optional[str] = None
+    #: Key of the cancelled task (verdict == "cancelled" only).
+    cancelled_task_key: Any = None
+    cancelled_op_name: Optional[str] = None
+    #: Why a cancel was blocked (cooldown, thread-level flag, ...).
+    blocked_reason: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable dict (for exporters and the tracer)."""
+        return asdict(self)
+
+
 class DecisionLog:
-    """Bounded in-memory decision timeline."""
+    """Bounded in-memory decision timeline plus the audit trail."""
 
     def __init__(self, capacity: int = 10_000) -> None:
         if capacity <= 0:
@@ -59,6 +138,9 @@ class DecisionLog:
         self._events: List[DecisionEvent] = []
         #: Events dropped once capacity was reached (oldest first).
         self.dropped = 0
+        #: Decision audits, bounded by the same capacity.
+        self._audits: List[DecisionAudit] = []
+        self.audits_dropped = 0
 
     def record(
         self,
@@ -76,12 +158,35 @@ class DecisionLog:
             self.dropped += 1
         return event
 
+    def record_audit(self, audit: DecisionAudit) -> DecisionAudit:
+        """Append one decision audit (bounded like the event timeline)."""
+        self._audits.append(audit)
+        if len(self._audits) > self.capacity:
+            self._audits.pop(0)
+            self.audits_dropped += 1
+        return audit
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def events(self) -> List[DecisionEvent]:
         return list(self._events)
+
+    @property
+    def audits(self) -> List[DecisionAudit]:
+        return list(self._audits)
+
+    def cancellation_audits(self) -> List[DecisionAudit]:
+        """Audits whose verdict was an executed cancellation."""
+        return [a for a in self._audits if a.verdict == "cancelled"]
+
+    def audit_for_task(self, task_key: Any) -> Optional[DecisionAudit]:
+        """The audit that cancelled ``task_key``, if any."""
+        for audit in self._audits:
+            if audit.verdict == "cancelled" and audit.cancelled_task_key == task_key:
+                return audit
+        return None
 
     def events_of(self, kind: DecisionKind) -> List[DecisionEvent]:
         return [e for e in self._events if e.kind is kind]

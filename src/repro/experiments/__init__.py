@@ -63,11 +63,27 @@ ALL_EXPERIMENTS = {
     for key, (module, attribute) in _EXPERIMENT_RUNNERS.items()
 }
 
+
+def resolve_experiment_id(name: str) -> "str | None":
+    """Resolve a CLI experiment name to its id.
+
+    Accepts the short id (``fig3``) or the runner module name
+    (``fig3_lock_contention``); returns None if neither matches.
+    """
+    if name in ALL_EXPERIMENTS:
+        return name
+    for exp_id, (module, _attr) in _EXPERIMENT_RUNNERS.items():
+        if name == module:
+            return exp_id
+    return None
+
+
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
     "ExperimentTable",
     "RunResult",
     "normalize",
+    "resolve_experiment_id",
     "run_simulation",
 ]

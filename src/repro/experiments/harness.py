@@ -10,6 +10,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..core.controller import BaseController, NullController
+from ..obs.tracer import get_active_tracer
 from ..sim.environment import Environment
 from ..sim.metrics import MetricsCollector, Summary
 from ..sim.rng import Rng
@@ -83,6 +84,7 @@ def run_simulation(
     duration: float = 10.0,
     seed: int = 0,
     warmup: float = 0.0,
+    label: Optional[str] = None,
 ) -> RunResult:
     """Run one simulation to completion and summarize.
 
@@ -95,8 +97,20 @@ def run_simulation(
         seed: RNG seed (runs are deterministic per seed).
         warmup: completions finishing before this time are excluded from
             the summary (cold-cache transient).
+        label: trace-run label when a tracing session is active (see
+            :func:`repro.obs.tracing`); defaults to a sequence number.
+
+    When a tracer is active (``repro.obs.tracing``), this run becomes
+    one Chrome-trace process in it: the kernel, resources, driver, and
+    controller all emit through ``env.tracer``.  Tracing never perturbs
+    the simulation itself -- results are identical with or without it.
     """
-    env = Environment()
+    tracer = get_active_tracer()
+    if tracer.enabled and tracer.accepting_runs:
+        tracer.new_run(label or f"run-{len(tracer.runs) + 1}:seed={seed}")
+        env = Environment(tracer=tracer)
+    else:
+        env = Environment()
     rng = Rng(seed)
     controller = (
         controller_factory(env) if controller_factory else NullController(env)
@@ -109,6 +123,7 @@ def run_simulation(
     workload = workload_factory(app, rng)
     driver.run_workload(workload)
     env.run(until=duration)
+    env.tracer.close_open_spans(env.now)
 
     if warmup > 0.0:
         trimmed = MetricsCollector()

@@ -1,0 +1,56 @@
+"""Observability layer: structured tracing, exporters, decision audits.
+
+``repro.obs`` is the telemetry backbone of the reproduction:
+
+* :class:`Tracer` collects span/instant/counter events emitted by the
+  DES kernel (:mod:`repro.sim`), the resource primitives
+  (:mod:`repro.sim.resources`), the workload driver, and the ATROPOS
+  controller.  Untraced runs use the :data:`NULL_TRACER` fast path.
+* :mod:`repro.obs.export` turns the event stream into Chrome-trace JSON
+  (``chrome://tracing`` / Perfetto), a per-resource utilization CSV, and
+  a decision-audit JSON.
+* The cancellation decision-audit trail itself lives in
+  :mod:`repro.core.decision_log` (it is controller state); the tracer
+  carries a copy of each audit payload so exports are self-contained.
+
+This package deliberately imports nothing from ``repro.sim`` or
+``repro.core`` so the kernel can import it without cycles.
+"""
+
+from .export import (
+    chrome_trace_payload,
+    dumps_chrome_trace,
+    render_trace_summary,
+    utilization_rows,
+    write_audit_json,
+    write_chrome_trace,
+    write_utilization_csv,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_active_tracer,
+    owner_label,
+    set_active_tracer,
+    tracing,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_payload",
+    "dumps_chrome_trace",
+    "get_active_tracer",
+    "owner_label",
+    "render_trace_summary",
+    "set_active_tracer",
+    "tracing",
+    "utilization_rows",
+    "write_audit_json",
+    "write_chrome_trace",
+    "write_utilization_csv",
+]

@@ -1,0 +1,128 @@
+"""Trace exporters: Chrome-trace JSON, utilization CSV, audit JSON.
+
+All writers are deterministic: output depends only on the event stream
+(simulated time, names derived from simulation state), so traces from
+two runs with the same seed are byte-identical.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace_payload",
+    "render_trace_summary",
+    "utilization_rows",
+    "write_audit_json",
+    "write_chrome_trace",
+    "write_utilization_csv",
+]
+
+
+def chrome_trace_payload(tracer: Tracer) -> Dict[str, Any]:
+    """Build the Chrome-trace JSON object for ``tracer``'s events.
+
+    Loadable in ``chrome://tracing`` and Perfetto (legacy JSON format).
+    """
+    return {
+        "traceEvents": tracer.events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "runs": tracer.runs,
+        },
+    }
+
+
+def dumps_chrome_trace(tracer: Tracer) -> str:
+    """Serialize deterministically (sorted keys, fixed separators)."""
+    return json.dumps(
+        chrome_trace_payload(tracer),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome-trace JSON to ``path``; returns the event count."""
+    payload = dumps_chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(payload)
+        handle.write("\n")
+    return len(tracer.events)
+
+
+# ----------------------------------------------------------------------
+# Utilization timeline CSV
+# ----------------------------------------------------------------------
+def utilization_rows(tracer: Tracer) -> List[List[Any]]:
+    """Flatten counter events into (run, time_s, track, series, value) rows.
+
+    One row per counter series sample, in emission (simulated-time) order;
+    the per-resource utilization timeline of a run.
+    """
+    run_labels = tracer.runs
+    rows: List[List[Any]] = []
+    track_names: Dict[tuple, str] = {}
+    for event in tracer.events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            track_names[(event["pid"], event["tid"])] = event["args"]["name"]
+            continue
+        if event.get("ph") != "C":
+            continue
+        pid = event["pid"]
+        run = run_labels[pid - 1] if 0 < pid <= len(run_labels) else str(pid)
+        track = track_names.get((pid, event["tid"]), str(event["tid"]))
+        time_s = event["ts"] / 1e6
+        for series, value in sorted(event["args"].items()):
+            rows.append([run, f"{time_s:.6f}", track, series, value])
+    return rows
+
+
+def write_utilization_csv(tracer: Tracer, path: str) -> int:
+    """Write the per-resource utilization timeline CSV; returns row count."""
+    rows = utilization_rows(tracer)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(["run", "time_s", "resource", "series", "value"])
+        writer.writerows(rows)
+    return len(rows)
+
+
+# ----------------------------------------------------------------------
+# Decision-audit JSON
+# ----------------------------------------------------------------------
+def write_audit_json(audits: List[Dict[str, Any]], path: str) -> int:
+    """Write decision-audit payloads (see core.decision_log) as JSON."""
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        json.dump(
+            {"audits": audits},
+            handle,
+            sort_keys=True,
+            indent=2,
+            allow_nan=False,
+        )
+        handle.write("\n")
+    return len(audits)
+
+
+# ----------------------------------------------------------------------
+# Human-readable summary (surfaced by reporting / the trace CLI)
+# ----------------------------------------------------------------------
+def render_trace_summary(tracer: Tracer) -> str:
+    """Counter table: runs traced and events per category."""
+    out = io.StringIO()
+    out.write(f"runs traced:       {len(tracer.runs)}\n")
+    out.write(f"trace events:      {len(tracer.events)}\n")
+    out.write(f"decision audits:   {len(tracer.audits)}\n")
+    if tracer.counts:
+        out.write("events by category:\n")
+        for cat, count in sorted(tracer.counts.items()):
+            out.write(f"  {cat:<12} {count}\n")
+    return out.getvalue().rstrip("\n")

@@ -43,9 +43,16 @@ def run_experiments(
 
 
 def render_report(
-    results: Dict[str, ExperimentResult], title: str = "Reproduction results"
+    results: Dict[str, ExperimentResult],
+    title: str = "Reproduction results",
+    tracer=None,
 ) -> str:
-    """Render results as a markdown-ish text report."""
+    """Render results as a markdown-ish text report.
+
+    When ``tracer`` (a :class:`repro.obs.Tracer` used while the results
+    were produced) is given, the report ends with its event counters and
+    decision-audit totals.
+    """
     lines = [f"# {title}", ""]
     for exp_id in DEFAULT_ORDER:
         if exp_id not in results:
@@ -62,4 +69,11 @@ def render_report(
             lines.append(result.format())
             lines.append("```")
             lines.append("")
+    if tracer is not None and getattr(tracer, "enabled", False):
+        from .obs import render_trace_summary
+
+        lines.append("```")
+        lines.append(render_trace_summary(tracer))
+        lines.append("```")
+        lines.append("")
     return "\n".join(lines)

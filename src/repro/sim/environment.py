@@ -6,6 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, List, Optional, Tuple, Union
 
+from ..obs.tracer import NULL_TRACER
 from .errors import EmptySchedule, StopSimulation
 from .events import NORMAL, AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGenerator
@@ -20,13 +21,19 @@ class Environment:
 
     Time is a float in *seconds* of simulated time.  All model components
     (resources, applications, ATROPOS itself) share one environment.
+
+    The environment also carries the run's :mod:`repro.obs` tracer; model
+    components read ``env.tracer`` at construction time, so the tracer
+    must be passed here (before resources are built) to take effect.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, tracer=None) -> None:
         self._now = float(initial_time)
         self._queue: List[QueueEntry] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Structured tracer (NULL_TRACER = tracing disabled, the default).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:

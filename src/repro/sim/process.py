@@ -78,6 +78,13 @@ class Process(Event):
         #: The event this process is currently waiting on (None while active).
         self._target: Optional[Event] = None
         self.name = getattr(generator, "__name__", "process")
+        tracer = env.tracer
+        #: Lifetime span (None when tracing is disabled).
+        self._span = (
+            tracer.begin(env.now, "process", self.name, f"proc:{self.name}")
+            if tracer.enabled
+            else None
+        )
         Initialize(env, self)
 
     @property
@@ -101,6 +108,15 @@ class Process(Event):
             raise RuntimeError(f"{self!r} has already terminated")
         if self.env.active_process is self:
             raise RuntimeError("a process is not allowed to interrupt itself")
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self.env.now,
+                "interrupt",
+                f"interrupt {self.name}",
+                f"proc:{self.name}",
+                cause=str(cause) if cause is not None else None,
+            )
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
@@ -121,6 +137,9 @@ class Process(Event):
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
+                if self._span is not None:
+                    self._span.end(env.now, outcome="finished")
+                    self._span = None
                 env.schedule(self, priority=NORMAL)
                 break
             except BaseException as exc:
@@ -131,6 +150,9 @@ class Process(Event):
                     # expected outcome, not a simulation bug: do not crash
                     # the run if nobody joins this process.
                     self.defused = True
+                if self._span is not None:
+                    self._span.end(env.now, outcome=type(exc).__name__)
+                    self._span = None
                 env.schedule(self, priority=NORMAL)
                 break
 
@@ -141,6 +163,9 @@ class Process(Event):
                 )
                 self._ok = False
                 self._value = exc
+                if self._span is not None:
+                    self._span.end(env.now, outcome="error")
+                    self._span = None
                 env.schedule(self, priority=NORMAL)
                 break
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator
 
+from ...obs.tracer import owner_label
 from ..events import Event
 from .threadpool import ThreadPool
 
@@ -20,7 +21,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class CPU:
-    """``cores`` cores shared via time slicing."""
+    """``cores`` cores shared via time slicing.
+
+    Traced events: one async span per :meth:`execute` call (slice-level
+    queueing is internal machinery and stays untraced) plus a run-queue
+    depth counter sampled at execute boundaries.
+    """
 
     def __init__(
         self,
@@ -33,7 +39,8 @@ class CPU:
         self.name = name
         self.cores = cores
         self.slice_time = slice_time
-        self._pool = ThreadPool(env, f"{name}.cores", cores)
+        self._pool = ThreadPool(env, f"{name}.cores", cores, traced=False)
+        self._tracer = env.tracer
         #: owner -> cumulative CPU seconds consumed.
         self.usage: Dict[Any, float] = {}
 
@@ -57,11 +64,42 @@ class CPU:
         """
         if cpu_time < 0:
             raise ValueError("cpu_time must be non-negative")
-        remaining = cpu_time
-        while remaining > 1e-12:
-            chunk = min(self.slice_time, remaining)
-            with self._pool.submit(owner=owner) as slot:
-                yield slot
-                yield self.env.timeout(chunk)
-                self.usage[owner] = self.usage.get(owner, 0.0) + chunk
-            remaining -= chunk
+        tracer = self._tracer
+        aid = None
+        if tracer.enabled:
+            track = f"cpu:{self.name}"
+            aid = tracer.async_begin(
+                self.env.now,
+                "cpu",
+                f"execute {owner_label(owner)}",
+                track,
+                cpu_time=cpu_time,
+            )
+            tracer.counter(
+                self.env.now,
+                self.name,
+                track,
+                run_queue=self.run_queue_length,
+                busy=self.busy_cores,
+            )
+        done = 0.0
+        try:
+            remaining = cpu_time
+            while remaining > 1e-12:
+                chunk = min(self.slice_time, remaining)
+                with self._pool.submit(owner=owner) as slot:
+                    yield slot
+                    yield self.env.timeout(chunk)
+                    self.usage[owner] = self.usage.get(owner, 0.0) + chunk
+                    done += chunk
+                remaining -= chunk
+        finally:
+            if aid is not None:
+                tracer.async_end(
+                    self.env.now,
+                    "cpu",
+                    f"execute {owner_label(owner)}",
+                    f"cpu:{self.name}",
+                    aid,
+                    consumed=round(done, 9),
+                )

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator
 
+from ...obs.tracer import owner_label
 from ..events import Event
 from .threadpool import ThreadPool
 
@@ -16,7 +17,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class DiskIO:
-    """A disk with fixed queue depth, per-op latency, and bandwidth."""
+    """A disk with fixed queue depth, per-op latency, and bandwidth.
+
+    Traced events: one async span per I/O operation (device-queue slot
+    management is internal and stays untraced) plus a queue-depth
+    counter sampled at op boundaries.
+    """
 
     def __init__(
         self,
@@ -32,7 +38,8 @@ class DiskIO:
         self.name = name
         self.bandwidth = bandwidth_bytes_per_sec
         self.op_latency = op_latency
-        self._pool = ThreadPool(env, f"{name}.queue", queue_depth)
+        self._pool = ThreadPool(env, f"{name}.queue", queue_depth, traced=False)
+        self._tracer = env.tracer
         #: owner -> cumulative bytes transferred.
         self.bytes_by_owner: Dict[Any, float] = {}
         self.total_bytes = 0.0
@@ -60,13 +67,41 @@ class DiskIO:
         """Process generator: perform one I/O of ``nbytes`` bytes."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        with self._pool.submit(owner=owner) as slot:
-            yield slot
-            yield self.env.timeout(self._service_time(nbytes))
-            self.bytes_by_owner[owner] = (
-                self.bytes_by_owner.get(owner, 0.0) + nbytes
+        tracer = self._tracer
+        aid = None
+        if tracer.enabled:
+            track = f"disk:{self.name}"
+            aid = tracer.async_begin(
+                self.env.now,
+                "disk",
+                f"io {owner_label(owner)}",
+                track,
+                nbytes=nbytes,
             )
-            self.total_bytes += nbytes
+            tracer.counter(
+                self.env.now,
+                self.name,
+                track,
+                queued=self.queue_length,
+                inflight=self.inflight,
+            )
+        try:
+            with self._pool.submit(owner=owner) as slot:
+                yield slot
+                yield self.env.timeout(self._service_time(nbytes))
+                self.bytes_by_owner[owner] = (
+                    self.bytes_by_owner.get(owner, 0.0) + nbytes
+                )
+                self.total_bytes += nbytes
+        finally:
+            if aid is not None:
+                tracer.async_end(
+                    self.env.now,
+                    "disk",
+                    f"io {owner_label(owner)}",
+                    f"disk:{self.name}",
+                    aid,
+                )
 
     # Aliases to keep call sites readable.
     read = io

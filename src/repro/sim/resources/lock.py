@@ -28,6 +28,10 @@ class LockGrant(Grant):
 class SyncLock(Resource):
     """A reader/writer lock with strict FIFO ordering.
 
+    Traced events (when the environment has a live tracer): a *wait*
+    span per queued acquisition, a *hold* span per granted one, and a
+    queue-depth/holders counter sampled at every state transition.
+
     FIFO ordering means a queued writer blocks readers that arrive after
     it -- this is what turns one long lock holder into a convoy, the exact
     dynamic behind the paper's case 1 (backup query) and case 4 (SELECT
@@ -36,6 +40,8 @@ class SyncLock(Resource):
     Holders and waiters are :class:`LockGrant` events; release via
     ``grant.close()`` (or the context-manager protocol).
     """
+
+    trace_cat = "lock"
 
     def __init__(self, env: "Environment", name: str) -> None:
         super().__init__(env, name)
@@ -70,6 +76,11 @@ class SyncLock(Resource):
         """Request the lock; returns a grant event to yield on."""
         grant = LockGrant(self.env, self, owner, exclusive)
         self._waiters.append(grant)
+        if self._tracer.enabled:
+            self._trace_wait_begin(grant, exclusive=exclusive)
+            self._trace_depths(
+                queued=len(self._waiters), holders=len(self._holders)
+            )
         self._dispatch()
         return grant
 
@@ -87,12 +98,22 @@ class SyncLock(Resource):
             self._waiters.popleft()
             self._holders.append(head)
             self.total_wait_time += self.env.now - head.request_time
+            if self._tracer.enabled:
+                self._trace_granted(head, exclusive=head.exclusive)
+                self._trace_depths(
+                    queued=len(self._waiters), holders=len(self._holders)
+                )
             head._mark_granted()
 
     def _close(self, grant: Grant) -> None:
         if grant in self._holders:
             self._holders.remove(grant)
             self.total_hold_time += grant.hold_time
+            if self._tracer.enabled:
+                self._trace_released(grant)
+                self._trace_depths(
+                    queued=len(self._waiters), holders=len(self._holders)
+                )
             self._dispatch()
             return
         # Pending waiter abandoning the queue (cancelled while waiting).
@@ -101,5 +122,10 @@ class SyncLock(Resource):
         except ValueError:
             pass
         else:
+            if self._tracer.enabled:
+                self._trace_abandoned(grant)
+                self._trace_depths(
+                    queued=len(self._waiters), holders=len(self._holders)
+                )
             # Removing a queued writer can unblock readers behind it.
             self._dispatch()

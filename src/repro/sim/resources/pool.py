@@ -45,7 +45,14 @@ class EvictionOutcome:
 
 
 class MemoryPool(Resource):
-    """A fixed-capacity paged pool with per-owner LRU eviction."""
+    """A fixed-capacity paged pool with per-owner LRU eviction.
+
+    Traced events: an instant per acquisition that forced evictions
+    (with the victim breakdown) and an occupancy/free-pages counter at
+    every acquire/release.
+    """
+
+    trace_cat = "mem"
 
     def __init__(
         self,
@@ -142,6 +149,25 @@ class MemoryPool(Resource):
             self._resident[owner] = self._resident.get(owner, 0) + pages
             self._resident.move_to_end(owner)
         self.total_acquired += pages
+        if self._tracer.enabled:
+            from ...obs.tracer import owner_label
+
+            if evicted > 0:
+                self._tracer.instant(
+                    self.env.now,
+                    "mem",
+                    f"evict for {owner_label(owner)}",
+                    self._track,
+                    pages=pages,
+                    evicted=evicted,
+                    victims={
+                        owner_label(victim): count
+                        for victim, count in victims.items()
+                    },
+                )
+            self._trace_depths(
+                used=self.used_pages, free=self.free_pages
+            )
         return EvictionOutcome(
             acquired=pages, evicted=evicted, from_free=from_free, victims=victims
         )
@@ -220,6 +246,8 @@ class MemoryPool(Resource):
         else:
             self._resident[owner] = have - take
         self.total_released += take
+        if self._tracer.enabled:
+            self._trace_depths(used=self.used_pages, free=self.free_pages)
         return take
 
     def _close(self, grant: Any) -> None:  # pragma: no cover - unused

@@ -37,12 +37,15 @@ class QueueFull(Exception):
 class ThreadPool(Resource):
     """Fixed worker pool with FIFO admission queue and class reservations."""
 
+    trace_cat = "tpool"
+
     def __init__(
         self,
         env: "Environment",
         name: str,
         workers: int,
         queue_capacity: Optional[int] = None,
+        traced: bool = True,
     ) -> None:
         """
         Args:
@@ -51,8 +54,12 @@ class ThreadPool(Resource):
                 A full queue makes :meth:`submit` raise :class:`QueueFull`
                 (the application decides whether that means HTTP 503, a
                 client error, etc.).
+            traced: set False for pools used as internal machinery of a
+                coarser-grained resource (CPU time slices, disk op queues)
+                so they do not flood the trace; the owning resource emits
+                its own spans instead.
         """
-        super().__init__(env, name)
+        super().__init__(env, name, traced=traced)
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.workers = workers
@@ -146,6 +153,11 @@ class ThreadPool(Resource):
             )
         grant = SlotGrant(self.env, self, owner, klass)
         self._waiters.append(grant)
+        if self._tracer.enabled:
+            self._trace_wait_begin(grant, klass=klass)
+            self._trace_depths(
+                queued=len(self._waiters), active=len(self._running)
+            )
         self._dispatch()
         return grant
 
@@ -160,6 +172,12 @@ class ThreadPool(Resource):
                     self._waiters.remove(grant)
                     self._running.append(grant)
                     self.total_wait_time += self.env.now - grant.request_time
+                    if self._tracer.enabled:
+                        self._trace_granted(grant, klass=grant.klass)
+                        self._trace_depths(
+                            queued=len(self._waiters),
+                            active=len(self._running),
+                        )
                     grant._mark_granted()
                     progressed = True
                     break
@@ -171,9 +189,20 @@ class ThreadPool(Resource):
         if grant in self._running:
             self._running.remove(grant)
             self.total_busy_time += grant.hold_time
+            if self._tracer.enabled:
+                self._trace_released(grant)
+                self._trace_depths(
+                    queued=len(self._waiters), active=len(self._running)
+                )
             self._dispatch()
             return
         try:
             self._waiters.remove(grant)  # type: ignore[arg-type]
         except ValueError:
             pass
+        else:
+            if self._tracer.enabled:
+                self._trace_abandoned(grant)
+                self._trace_depths(
+                    queued=len(self._waiters), active=len(self._running)
+                )

@@ -40,6 +40,7 @@ class Driver:
         self.controller = controller
         self.collector = collector or MetricsCollector()
         self._req_seq = count(1)
+        self._tracer = env.tracer
         #: Requests currently in flight (for diagnostics).
         self.inflight = 0
 
@@ -74,6 +75,7 @@ class Driver:
         arrival: float,
         status: RequestStatus,
         retries: int,
+        req_aid: Optional[int] = None,
     ) -> None:
         record = RequestRecord(
             request_id=request_id,
@@ -84,6 +86,16 @@ class Driver:
             status=status,
             retries=retries,
         )
+        if req_aid is not None:
+            self._tracer.async_end(
+                self.env.now,
+                "request",
+                f"{op.name}#{request_id}",
+                f"req:{op.name}",
+                req_aid,
+                status=status.value,
+                retries=retries,
+            )
         self.collector.record(record)
         self.controller.observe_completion(record)
 
@@ -95,12 +107,22 @@ class Driver:
         self.collector.note_offered()
         self.inflight += 1
         retries = 0
+        tracer = self._tracer
+        req_aid = None
+        if tracer.enabled:
+            req_aid = tracer.async_begin(
+                arrival,
+                "request",
+                f"{op.name}#{request_id}",
+                f"req:{op.name}",
+                client=client_id,
+            )
         try:
             while True:
                 if not controller.admit(op.name, client_id):
                     self._record(
                         request_id, op, client_id, arrival,
-                        RequestStatus.DROPPED, retries,
+                        RequestStatus.DROPPED, retries, req_aid,
                     )
                     return
                 task = controller.create_cancel(
@@ -119,7 +141,7 @@ class Driver:
                     controller.free_cancel(task)
                     self._record(
                         request_id, op, client_id, arrival,
-                        RequestStatus.DROPPED, retries,
+                        RequestStatus.DROPPED, retries, req_aid,
                     )
                     return
                 except Interrupt as exc:
@@ -128,7 +150,7 @@ class Driver:
                         # Victim drop (Protego-style): terminal, no retry.
                         self._record(
                             request_id, op, client_id, arrival,
-                            RequestStatus.DROPPED, retries,
+                            RequestStatus.DROPPED, retries, req_aid,
                         )
                         return
                     if not isinstance(exc.cause, CancelSignal):
@@ -146,7 +168,7 @@ class Driver:
                     if decision == "drop":
                         self._record(
                             request_id, op, client_id, arrival,
-                            RequestStatus.CANCELLED, retries,
+                            RequestStatus.CANCELLED, retries, req_aid,
                         )
                         return
                     continue  # re-execute
@@ -154,7 +176,7 @@ class Driver:
                     controller.free_cancel(task)
                     self._record(
                         request_id, op, client_id, arrival,
-                        RequestStatus.COMPLETED, retries,
+                        RequestStatus.COMPLETED, retries, req_aid,
                     )
                     return
         finally:

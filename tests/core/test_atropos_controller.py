@@ -209,6 +209,7 @@ class TestFallbackDelegation:
             warmup=2.0,
         )
 
+    @pytest.mark.slow
     def test_demand_overload_without_fallback_is_only_counted(self):
         result = self._demand_overload_run()
         atropos = result.controller
@@ -216,6 +217,7 @@ class TestFallbackDelegation:
         assert atropos.cancels_issued == 0
         assert result.drop_rate == 0.0
 
+    @pytest.mark.slow
     def test_fallback_sheds_load_under_demand_overload(self):
         from repro.baselines import Seda
 

@@ -8,6 +8,8 @@ crossover falls -- not absolute numbers.
 import pytest
 
 from repro.experiments import ALL_EXPERIMENTS
+
+pytestmark = pytest.mark.slow
 from repro.experiments import (
     fig2_buffer_pool,
     fig3_lock_contention,
