@@ -1,0 +1,74 @@
+"""Benchmark: campaign dispatch overhead per run.
+
+The campaign layer wraps every simulation in spec hashing, cache lookup,
+payload serialization, and a store write.  That bookkeeping must stay a
+small fraction of the simulation wall-clock itself -- otherwise caching
+and parallelism would be paid for twice over.
+
+Runs outside pytest-benchmark on purpose: the quantity of interest is
+the *difference* between campaign elapsed time and in-run simulation
+time, which pedantic rounds cannot express.
+"""
+
+import time
+
+from repro.campaign import execute, reset_session_stats, session_stats
+from repro.campaign.spec import RunSpec
+
+
+def _specs(n, duration=2.0):
+    # Distinct seeds -> distinct cache keys -> every spec executes.
+    return [
+        RunSpec(
+            "bench",
+            "case",
+            {"case_id": "c1", "include_culprit": False},
+            seed=seed,
+            duration=duration,
+            warmup=0.5,
+        )
+        for seed in range(n)
+    ]
+
+
+def test_dispatch_overhead_is_small_fraction_of_simulation(tmp_path):
+    n = 8
+    reset_session_stats()
+    started = time.perf_counter()
+    outcomes = execute(_specs(n), jobs=1, cache_dir=tmp_path / "cache")
+    elapsed = time.perf_counter() - started
+
+    sim_time = sum(o.walltime for o in outcomes)
+    overhead = elapsed - sim_time
+    per_run = overhead / n
+    mean_sim = sim_time / n
+    print(
+        f"\n[campaign-overhead] runs={n} sim={sim_time:.3f}s "
+        f"elapsed={elapsed:.3f}s overhead/run={per_run * 1000:.2f}ms "
+        f"({per_run / mean_sim:.1%} of mean sim walltime)"
+    )
+    assert session_stats().misses == n
+    # Hashing + store writes around each run must stay well under the
+    # run itself (generous bound: 25% of the mean simulation time).
+    assert per_run < 0.25 * mean_sim
+
+
+def test_warm_cache_replay_is_nearly_free(tmp_path):
+    n = 8
+    cache_dir = tmp_path / "cache"
+    cold_started = time.perf_counter()
+    execute(_specs(n), jobs=1, cache_dir=cache_dir)
+    cold = time.perf_counter() - cold_started
+
+    reset_session_stats()
+    warm_started = time.perf_counter()
+    execute(_specs(n), jobs=1, cache_dir=cache_dir)
+    warm = time.perf_counter() - warm_started
+
+    print(
+        f"\n[campaign-overhead] cold={cold:.3f}s warm={warm:.3f}s "
+        f"({warm / cold:.1%})"
+    )
+    assert session_stats().hit_rate == 1.0
+    # The acceptance bar is <10% of cold wall-clock; assert half that.
+    assert warm < 0.05 * cold

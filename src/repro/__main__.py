@@ -3,10 +3,16 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig10 [--full] [--seed N]
-    python -m repro all [--full] [--output FILE]
+    python -m repro run fig10 [--full] [--seed N] [--jobs N] [--no-cache]
+    python -m repro all [--full] [--output FILE] [--jobs N]
+    python -m repro sweep fig10 --seeds 0 1 2 [--jobs N]
     python -m repro case c5 [--system atropos] [--seed N]
     python -m repro trace fig3 --out trace.json [--util util.csv]
+    python -m repro cache stats
+    python -m repro cache clear
+
+Experiment output goes to **stdout**; progress and campaign statistics
+go to **stderr**, so stdout can be diffed across invocations.
 """
 
 from __future__ import annotations
@@ -14,8 +20,41 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import campaign
 from .experiments import ALL_EXPERIMENTS, resolve_experiment_id
 from .reporting import DEFAULT_ORDER, render_report, run_experiments
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for simulation runs "
+        "(default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="reuse cached run results (default: $REPRO_CACHE or on)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store location (default: $REPRO_CACHE_DIR "
+        "or .repro-cache)",
+    )
+
+
+def _campaign_settings(args):
+    campaign.reset_session_stats()
+    return campaign.settings(
+        jobs=getattr(args, "jobs", None),
+        cache=getattr(args, "cache", None),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def _print_campaign_stats() -> None:
+    stats = campaign.session_stats()
+    if stats.runs:
+        print(stats.format(), file=sys.stderr)
 
 
 def cmd_list(args) -> int:
@@ -34,33 +73,71 @@ def cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
-    results = run_experiments(
-        [args.experiment],
-        quick=not args.full,
-        seed=args.seed,
-        progress=lambda i, dt: print(f"[{i} done in {dt:.1f}s]\n"),
-    )
+    with _campaign_settings(args):
+        results = run_experiments(
+            [args.experiment],
+            quick=not args.full,
+            seed=args.seed,
+            progress=lambda i, dt: print(
+                f"[{i} done in {dt:.1f}s]", file=sys.stderr
+            ),
+        )
     print(results[args.experiment].format())
+    _print_campaign_stats()
     return 0
 
 
 def cmd_all(args) -> int:
     def progress(exp_id, elapsed):
-        print(f"  {exp_id:<8} done in {elapsed:6.1f}s", flush=True)
+        print(f"  {exp_id:<8} done in {elapsed:6.1f}s",
+              file=sys.stderr, flush=True)
 
     print("Running all experiments "
-          f"({'full' if args.full else 'quick'} mode)...")
-    results = run_experiments(
-        quick=not args.full, seed=args.seed, progress=progress
-    )
+          f"({'full' if args.full else 'quick'} mode)...",
+          file=sys.stderr)
+    with _campaign_settings(args):
+        results = run_experiments(
+            quick=not args.full, seed=args.seed, progress=progress
+        )
     report = render_report(results)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
-        print(f"\nreport written to {args.output}")
+        print(f"report written to {args.output}", file=sys.stderr)
     else:
-        print()
         print(report)
+    _print_campaign_stats()
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    exp_id = resolve_experiment_id(args.experiment)
+    if exp_id is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    seeds = args.seeds if args.seeds else [0]
+    sections = []
+    with _campaign_settings(args):
+        for seed in seeds:
+            print(f"[sweep {exp_id} seed={seed}]", file=sys.stderr)
+            results = run_experiments(
+                [exp_id], quick=not args.full, seed=seed
+            )
+            sections.append(
+                f"## seed={seed}\n\n{results[exp_id].format()}"
+            )
+    report = f"# Sweep: {exp_id} (seeds={seeds})\n\n" + "\n\n".join(sections)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"sweep written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    _print_campaign_stats()
     return 0
 
 
@@ -119,10 +196,13 @@ def cmd_trace(args) -> int:
         return 2
     out = args.out or f"{exp_id}-trace.json"
     tracer = Tracer(max_runs=None if args.all_runs else 1)
-    with tracing(tracer):
-        results = run_experiments(
-            [exp_id], quick=not args.full, seed=args.seed
-        )
+    # Tracing needs in-process serial runs: cached or worker-pool runs
+    # would leave the trace empty.
+    with campaign.settings(jobs=1, cache=False):
+        with tracing(tracer):
+            results = run_experiments(
+                [exp_id], quick=not args.full, seed=args.seed
+            )
     print(results[exp_id].format())
     print()
     write_chrome_trace(tracer, out)
@@ -136,6 +216,19 @@ def cmd_trace(args) -> int:
         print(f"decision audits written to {args.audit}")
     print()
     print(render_trace_summary(tracer))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .campaign.store import ResultStore, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    store = ResultStore(root)
+    if args.action == "stats":
+        print(store.stats().format())
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached results from {root}")
     return 0
 
 
@@ -154,13 +247,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--full", action="store_true",
                        help="full sweeps instead of quick mode")
     p_run.add_argument("--seed", type=int, default=0)
+    _add_campaign_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--full", action="store_true")
     p_all.add_argument("--seed", type=int, default=0)
     p_all.add_argument("--output", help="write the report to a file")
+    _add_campaign_flags(p_all)
     p_all.set_defaults(func=cmd_all)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run one experiment across several seeds"
+    )
+    p_sweep.add_argument("experiment", help="e.g. fig10")
+    p_sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=None, metavar="N",
+        help="seeds to sweep (default: 0)",
+    )
+    p_sweep.add_argument("--full", action="store_true",
+                         help="full sweeps instead of quick mode")
+    p_sweep.add_argument("--output", help="write the sweep to a file")
+    _add_campaign_flags(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_case = sub.add_parser("case", help="run one overload case")
     p_case.add_argument("case", help="c1..c16")
@@ -208,6 +317,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every run of the sweep (default: first run only)",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the result store"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store location (default: $REPRO_CACHE_DIR "
+        "or .repro-cache)",
+    )
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -1,0 +1,293 @@
+"""Campaign execution: cache lookup, worker pool, spec-order merge.
+
+:func:`execute` is the single entry point experiments use.  Given an
+ordered list of :class:`~repro.campaign.spec.RunSpec`, it
+
+1. resolves the ambient :func:`settings` (CLI flags > context overlays >
+   ``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` env > defaults),
+2. satisfies what it can from the content-addressed
+   :class:`~repro.campaign.store.ResultStore`,
+3. runs the remaining specs -- inline, or through a ``multiprocessing``
+   pool when ``jobs > 1`` -- deduplicating identical specs within the
+   batch, and
+4. returns outcomes **in spec order** (never completion order), so a
+   parallel campaign is bit-identical to a serial one.
+
+When a tracing session is active (:func:`repro.obs.tracing`), execution
+is forced serial + uncached-read so every run actually happens in-process
+and lands in the trace; per-run worker timing is emitted as ``campaign``
+instants visible to the existing exporters.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..experiments.harness import extract_extras, resolve_sim, run_simulation
+from ..obs.tracer import get_active_tracer
+from .spec import RunOutcome, RunSpec, load_all_families
+from .store import ResultStore, default_cache_dir
+
+#: Environment overrides (the nightly CI job sets REPRO_JOBS=2).
+JOBS_ENV = "REPRO_JOBS"
+CACHE_ENV = "REPRO_CACHE"
+
+_FALSEY = {"0", "false", "no", "off"}
+
+
+# ----------------------------------------------------------------------
+# Ambient settings
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResolvedSettings:
+    """Fully-resolved execution settings for one campaign batch."""
+
+    jobs: int = 1
+    cache: bool = True
+    cache_dir: Path = Path(".repro-cache")
+
+
+_OVERLAYS: List[Dict[str, Any]] = []
+
+
+@contextlib.contextmanager
+def settings(
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[os.PathLike] = None,
+):
+    """Scope campaign settings; None leaves the outer value in place::
+
+        with campaign.settings(jobs=4, cache_dir=tmp):
+            run_experiments(["fig2"])
+    """
+    _OVERLAYS.append(
+        {"jobs": jobs, "cache": cache, "cache_dir": cache_dir}
+    )
+    try:
+        yield
+    finally:
+        _OVERLAYS.pop()
+
+
+def current_settings(
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> ResolvedSettings:
+    """Resolve settings: explicit args > overlays > environment > defaults."""
+
+    def pick(name, explicit):
+        if explicit is not None:
+            return explicit
+        for overlay in reversed(_OVERLAYS):
+            if overlay[name] is not None:
+                return overlay[name]
+        return None
+
+    jobs = pick("jobs", jobs)
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        jobs = int(env) if env else 1
+    cache = pick("cache", cache)
+    if cache is None:
+        env = os.environ.get(CACHE_ENV)
+        cache = env.strip().lower() not in _FALSEY if env else True
+    cache_dir = pick("cache_dir", cache_dir)
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    return ResolvedSettings(
+        jobs=max(1, int(jobs)), cache=bool(cache), cache_dir=Path(cache_dir)
+    )
+
+
+# ----------------------------------------------------------------------
+# Session statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class CampaignStats:
+    """Cumulative counters across execute() batches (one CLI command)."""
+
+    runs: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: In-worker wall-clock spent building + simulating (fresh runs).
+    walltime: float = 0.0
+    #: Parent wall-clock spent inside execute().
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.runs if self.runs else 0.0
+
+    def format(self) -> str:
+        return (
+            f"[campaign] runs={self.runs} hits={self.hits} "
+            f"misses={self.misses} jobs={self.jobs} "
+            f"sim={self.walltime:.1f}s elapsed={self.elapsed:.1f}s"
+        )
+
+
+_SESSION = CampaignStats()
+
+
+def session_stats() -> CampaignStats:
+    """Counters accumulated since the last reset (CLI command start)."""
+    return replace(_SESSION)
+
+
+def reset_session_stats() -> None:
+    global _SESSION
+    _SESSION = CampaignStats()
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def _execute_one(spec: RunSpec, label: Optional[str] = None) -> Dict[str, Any]:
+    """Build and run one spec in this process; returns its payload."""
+    load_all_families()
+    started = time.perf_counter()
+    build = resolve_sim(spec.family)(dict(spec.params))
+    duration = spec.duration if spec.duration is not None else build.duration
+    warmup = spec.warmup if spec.warmup is not None else build.warmup
+    result = run_simulation(
+        build.app_factory,
+        build.workload_factory,
+        build.controller_factory,
+        duration=duration,
+        seed=spec.seed,
+        warmup=warmup,
+        label=label,
+    )
+    walltime = time.perf_counter() - started
+    outcome = RunOutcome(
+        spec=spec,
+        summary=result.summary,
+        extras=extract_extras(result),
+        walltime=walltime,
+    )
+    payload = outcome.to_payload()
+    payload["sim_duration"] = duration
+    return payload
+
+
+def _worker_run(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point: rebuild the spec, run it, tag the worker."""
+    payload = _execute_one(RunSpec.from_dict(spec_dict))
+    payload["worker"] = f"pid-{os.getpid()}"
+    return payload
+
+
+def _run_pool(
+    specs: Sequence[RunSpec], jobs: int
+) -> List[Dict[str, Any]]:
+    """Run specs through a worker pool; results in input order."""
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(
+            _worker_run, [spec.to_dict() for spec in specs], chunksize=1
+        )
+
+
+def execute(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> List[RunOutcome]:
+    """Run a campaign of specs; outcomes returned in spec order.
+
+    Identical specs within the batch execute once and fan out to every
+    position.  With an active tracer, execution is serial and cache
+    reads are skipped (a cache hit would yield an empty trace); cache
+    *writes* still happen so a traced cold run warms the cache.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    cfg = current_settings(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    load_all_families()
+    tracer = get_active_tracer()
+    traced = bool(getattr(tracer, "enabled", False))
+    store = ResultStore(cfg.cache_dir) if cfg.cache else None
+
+    started = time.perf_counter()
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    pending: Dict[str, List[int]] = {}
+    keys = [spec.cache_key() for spec in specs]
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        if store is not None and not traced:
+            payload = store.get(key)
+            if payload is not None:
+                outcomes[i] = RunOutcome.from_payload(
+                    spec, payload, cache_hit=True
+                )
+                continue
+        pending.setdefault(key, []).append(i)
+
+    miss_keys = list(pending)
+    miss_specs = [specs[pending[key][0]] for key in miss_keys]
+    if miss_specs:
+        effective_jobs = 1 if traced else min(cfg.jobs, len(miss_specs))
+        if effective_jobs > 1:
+            payloads = _run_pool(miss_specs, effective_jobs)
+        else:
+            payloads = []
+            for spec in miss_specs:
+                payload = _execute_one(
+                    spec, label=spec.label() if traced else None
+                )
+                if traced:
+                    _emit_run_instant(tracer, spec, payload)
+                payloads.append(payload)
+        for key, payload in zip(miss_keys, payloads):
+            if store is not None:
+                store.put(key, payload)
+            for idx in pending[key]:
+                outcomes[idx] = RunOutcome.from_payload(
+                    specs[idx], payload, cache_hit=False
+                )
+
+    elapsed = time.perf_counter() - started
+    # A "miss" is a simulation that actually executed; in-batch
+    # duplicates fan out from one execution and count as hits.
+    _SESSION.runs += len(specs)
+    _SESSION.hits += len(specs) - len(miss_keys)
+    _SESSION.misses += len(miss_keys)
+    _SESSION.walltime += sum(p["walltime"] for p in (payloads if miss_specs else []))
+    _SESSION.elapsed += elapsed
+    _SESSION.jobs = cfg.jobs
+    return outcomes  # type: ignore[return-value]
+
+
+def _emit_run_instant(tracer, spec: RunSpec, payload: Dict[str, Any]) -> None:
+    """Surface per-run campaign timing in the active trace.
+
+    Lands on a ``campaign`` track of the run that just executed, so the
+    Chrome-trace/Perfetto view (and the category counters in the trace
+    summary) show what the campaign machinery spent around each run.
+    """
+    tracer.instant(
+        payload.get("sim_duration", 0.0),
+        "campaign",
+        "campaign.run",
+        "campaign",
+        family=spec.family,
+        seed=spec.seed,
+        walltime_s=round(payload["walltime"], 6),
+    )

@@ -1,0 +1,242 @@
+"""Declarative run specifications and their cache identity.
+
+A :class:`RunSpec` is the picklable, JSON-able description of one
+simulation run: which registered simulation *family* to build
+(:func:`repro.experiments.harness.register_sim`), the parameter dict the
+builder receives, the seed, and optional duration/warm-up overrides.
+Experiments enumerate their sweeps as RunSpecs and hand them to
+:func:`repro.campaign.execute`, which runs them through a worker pool
+and a content-addressed result store.
+
+Cache identity is the SHA-256 of the *physical* run description (family
++ params + seed + duration + warmup) plus the repro version and a
+fingerprint of the package source -- so two experiments sharing a run
+(e.g. the per-case baselines of fig9/fig10/fig12/fig13) share one cache
+entry, and any code change invalidates the whole cache rather than
+serving stale results.  The ``experiment`` field is bookkeeping only and
+deliberately excluded from the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from importlib import import_module
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..sim.metrics import Summary
+
+#: Bump when the payload layout or extras schema changes incompatibly.
+CACHE_SCHEMA = 1
+
+#: Modules whose import populates the sim-builder registry.  Worker
+#: processes (and cold parents) import these before resolving families;
+#: the list is the campaign analogue of experiments._EXPERIMENT_RUNNERS.
+FAMILY_MODULES = (
+    "repro.experiments.case_family",
+    "repro.experiments.fig2_buffer_pool",
+    "repro.experiments.fig3_lock_contention",
+    "repro.experiments.fig13_policies",
+    "repro.experiments.fig14_overhead",
+)
+
+_families_loaded = False
+
+
+def load_all_families() -> None:
+    """Import every module that registers simulation families.
+
+    Idempotent and cheap after the first call; invoked by the runner in
+    the parent and by spawn-started workers (fork-started workers
+    inherit the populated registry).
+    """
+    global _families_loaded
+    if _families_loaded:
+        return
+    for module in FAMILY_MODULES:
+        import_module(module)
+    _families_loaded = True
+
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the repro package source (path + content pairs).
+
+    Part of every cache key: editing any ``repro`` source file yields a
+    different fingerprint, so cached results can never silently outlive
+    the code that produced them.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def _canonical_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize params to plain JSON types (tuples -> lists, etc.)."""
+    return json.loads(json.dumps(params, sort_keys=True))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative, picklable simulation run.
+
+    Attributes:
+        experiment: owning experiment id (``fig2``); bookkeeping only,
+            excluded from cache identity.
+        family: registered sim-builder name (``fig2.point``, ``case``).
+        params: JSON-able parameters handed to the builder.
+        seed: RNG seed; runs are deterministic per seed.
+        duration: simulated seconds (None = family default).
+        warmup: summary warm-up horizon (None = family default).
+    """
+
+    experiment: str
+    family: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    duration: Optional[float] = None
+    warmup: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _canonical_params(self.params))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def identity(self) -> Dict[str, Any]:
+        """The physical run description hashed into the cache key."""
+        return {
+            "family": self.family,
+            "params": self.params,
+            "seed": self.seed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"experiment": self.experiment, **self.identity()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        return cls(
+            experiment=data.get("experiment", ""),
+            family=data["family"],
+            params=data.get("params", {}),
+            seed=data.get("seed", 0),
+            duration=data.get("duration"),
+            warmup=data.get("warmup"),
+        )
+
+    def cache_key(self) -> str:
+        """Content address of this run under the current code version."""
+        from .. import __version__
+
+        blob = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "version": __version__,
+                "code": code_fingerprint(),
+                "spec": self.identity(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Deterministic display label (trace runs, progress lines)."""
+        prefix = self.experiment or self.family
+        return f"{prefix}:{self.family}:seed={self.seed}"
+
+
+@dataclass
+class RunOutcome:
+    """What one executed (or cache-loaded) RunSpec produced."""
+
+    spec: RunSpec
+    summary: Summary
+    extras: Dict[str, Any]
+    #: In-worker wall-clock seconds spent building + simulating.
+    walltime: float = 0.0
+    cache_hit: bool = False
+    #: Worker identity ("inline" or "pid-<n>"); diagnostic only.
+    worker: str = "inline"
+
+    # Convenience accessors mirroring RunResult ------------------------
+    @property
+    def throughput(self) -> float:
+        return self.summary.throughput
+
+    @property
+    def p99_latency(self) -> float:
+        return self.summary.p99_latency
+
+    @property
+    def drop_rate(self) -> float:
+        return self.summary.drop_rate
+
+    @property
+    def cancels(self) -> int:
+        return int(self.extras.get("cancels_issued", 0))
+
+    @property
+    def first_cancelled_op(self) -> Optional[str]:
+        return self.extras.get("first_cancelled_op")
+
+    def completed_ops(self) -> List[str]:
+        """Names of operations with completed requests, sorted."""
+        return sorted(self.extras.get("ops", {}))
+
+    def mean_latency_over(self, op_names: Iterable[str]) -> float:
+        """Mean completed latency over the named operations."""
+        ops = self.extras.get("ops", {})
+        total = 0.0
+        count = 0
+        for name in op_names:
+            entry = ops.get(name)
+            if entry:
+                total += entry["latency_sum"]
+                count += entry["n"]
+        return total / count if count else float("nan")
+
+    # Payload round trip ------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON payload stored in the result cache."""
+        from .. import __version__
+        from dataclasses import asdict
+
+        return {
+            "schema": CACHE_SCHEMA,
+            "repro_version": __version__,
+            "spec": self.spec.to_dict(),
+            "summary": asdict(self.summary),
+            "extras": self.extras,
+            "walltime": self.walltime,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, spec: RunSpec, payload: Dict[str, Any], cache_hit: bool
+    ) -> "RunOutcome":
+        return cls(
+            spec=spec,
+            summary=Summary(**payload["summary"]),
+            extras=payload["extras"],
+            walltime=payload.get("walltime", 0.0),
+            cache_hit=cache_hit,
+            worker=payload.get("worker", "inline"),
+        )

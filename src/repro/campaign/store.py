@@ -1,0 +1,151 @@
+"""Content-addressed on-disk result store for campaign runs.
+
+Layout (under the cache root, default ``.repro-cache/``)::
+
+    .repro-cache/
+      v1/
+        ab/abcdef....json      # one JSON payload per cache key
+      index.jsonl              # append-only log of stored entries
+
+Keys are :meth:`repro.campaign.spec.RunSpec.cache_key` digests, which
+already encode the repro version and a source fingerprint, so the store
+itself never has to reason about invalidation: stale entries simply stop
+being addressed and ``repro cache clear`` reclaims the space.
+
+Writes are single-writer (the campaign parent process) and atomic
+(temp file + ``os.replace``), so a crashed run can never leave a
+half-written payload behind a valid key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Environment override for the cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: $REPRO_CACHE_DIR or ./.repro-cache."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+@dataclass
+class StoreStats:
+    """Summary of what's on disk under a cache root."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+    index_records: int
+
+    def format(self) -> str:
+        size = self.total_bytes
+        for unit in ("B", "KiB", "MiB", "GiB"):
+            if size < 1024 or unit == "GiB":
+                break
+            size /= 1024.0
+        pretty = f"{size:.1f} {unit}" if unit != "B" else f"{size} B"
+        return (
+            f"cache dir:     {self.root}\n"
+            f"entries:       {self.entries}\n"
+            f"size:          {pretty}\n"
+            f"index records: {self.index_records}"
+        )
+
+
+class ResultStore:
+    """Filesystem-backed map from cache key to run payload."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def _data_dir(self) -> Path:
+        return self.root / f"v{_schema()}"
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.jsonl"
+
+    def _path(self, key: str) -> Path:
+        return self._data_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a payload; None on miss or any unreadable entry."""
+        path = self._path(key)
+        try:
+            with open(path, "r") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != _schema():
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a payload atomically and append an index record."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+        spec = payload.get("spec", {})
+        record = {
+            "key": key,
+            "experiment": spec.get("experiment", ""),
+            "family": spec.get("family", ""),
+            "seed": spec.get("seed", 0),
+            "walltime": payload.get("walltime", 0.0),
+        }
+        with open(self._index_path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        if self._data_dir.is_dir():
+            for path in self._data_dir.rglob("*.json"):
+                entries += 1
+                total += path.stat().st_size
+        index_records = 0
+        if self._index_path.is_file():
+            with open(self._index_path) as handle:
+                index_records = sum(1 for line in handle if line.strip())
+        return StoreStats(
+            root=self.root,
+            entries=entries,
+            total_bytes=total,
+            index_records=index_records,
+        )
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns how many were removed."""
+        removed = self.stats().entries
+        if self._data_dir.is_dir():
+            shutil.rmtree(self._data_dir)
+        if self._index_path.is_file():
+            self._index_path.unlink()
+        return removed
+
+
+def _schema() -> int:
+    from .spec import CACHE_SCHEMA
+
+    return CACHE_SCHEMA

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..cases import get_case
-from ..core.atropos import Atropos
-from ..core.config import AtroposConfig
+from ..campaign import execute
+from .case_family import case_spec
 from .tables import ExperimentResult, ExperimentTable
 
 #: Stream cases where repeated cancellations are needed.
@@ -29,16 +28,21 @@ DETECTION_CASES = ["c1", "c4", "c13"]
 PERIODS = [0.05, 0.1, 0.25, 0.5]
 
 
-def _atropos(case, **overrides):
-    merged = dict(case.atropos_overrides)
-    merged.update(overrides)
-
-    def build(env):
-        return Atropos(
-            env, AtroposConfig(slo_latency=case.slo_latency, **merged)
-        )
-
-    return build
+def _specs(experiment, case_ids, seed, override_key, values):
+    """Per case: one baseline spec, then one spec per override value."""
+    specs = []
+    for cid in case_ids:
+        specs.append(case_spec(experiment, cid, seed, include_culprit=False))
+        for value in values:
+            specs.append(
+                case_spec(
+                    experiment,
+                    cid,
+                    seed,
+                    atropos_overrides={override_key: value},
+                )
+            )
+    return specs
 
 
 def run_cooldown(
@@ -58,18 +62,20 @@ def run_cooldown(
         "Ablation: cancellations vs cancellation cooldown",
         ["case"] + [f"cooldown_{c}s" for c in cooldowns],
     )
+    outcomes = iter(
+        execute(
+            _specs("ablation-cooldown", case_ids, seed,
+                   "cancel_cooldown", cooldowns)
+        )
+    )
     for cid in case_ids:
-        case = get_case(cid)
-        baseline = case.run_baseline(seed=seed)
+        baseline = next(outcomes)
         p99_row = [cid]
         cancel_row = [cid]
-        for cooldown in cooldowns:
-            result = case.run(
-                controller_factory=_atropos(case, cancel_cooldown=cooldown),
-                seed=seed,
-            )
-            p99_row.append(result.p99_latency / baseline.p99_latency)
-            cancel_row.append(result.controller.cancels_issued)
+        for _ in cooldowns:
+            outcome = next(outcomes)
+            p99_row.append(outcome.p99_latency / baseline.p99_latency)
+            cancel_row.append(outcome.cancels)
         p99.add_row(*p99_row)
         cancels.add_row(*cancel_row)
     return ExperimentResult(
@@ -92,16 +98,18 @@ def run_detection_period(
         "Ablation: normalized p99 vs detection period",
         ["case"] + [f"period_{p}s" for p in periods],
     )
+    outcomes = iter(
+        execute(
+            _specs("ablation-detection", case_ids, seed,
+                   "detection_period", periods)
+        )
+    )
     for cid in case_ids:
-        case = get_case(cid)
-        baseline = case.run_baseline(seed=seed)
+        baseline = next(outcomes)
         row = [cid]
-        for period in periods:
-            result = case.run(
-                controller_factory=_atropos(case, detection_period=period),
-                seed=seed,
-            )
-            row.append(result.p99_latency / baseline.p99_latency)
+        for _ in periods:
+            outcome = next(outcomes)
+            row.append(outcome.p99_latency / baseline.p99_latency)
         p99.add_row(*row)
     return ExperimentResult(
         experiment_id="ablation-detection",
@@ -119,17 +127,25 @@ def run_no_reexecution(
         "Ablation: drop rate with vs without re-execution",
         ["case", "with_reexec", "without_reexec"],
     )
+    specs = []
     for cid in case_ids:
-        case = get_case(cid)
-        with_reexec = case.run(
-            controller_factory=_atropos(case), seed=seed
+        specs.append(
+            case_spec("ablation-reexec", cid, seed, atropos_overrides={})
         )
         # reexec_slo_multiple=0 exhausts the budget immediately: every
         # cancelled request is dropped.
-        without = case.run(
-            controller_factory=_atropos(case, reexec_slo_multiple=0.0),
-            seed=seed,
+        specs.append(
+            case_spec(
+                "ablation-reexec",
+                cid,
+                seed,
+                atropos_overrides={"reexec_slo_multiple": 0.0},
+            )
         )
+    outcomes = iter(execute(specs))
+    for cid in case_ids:
+        with_reexec = next(outcomes)
+        without = next(outcomes)
         table.add_row(cid, with_reexec.drop_rate, without.drop_rate)
     return ExperimentResult(
         experiment_id="ablation-reexec",

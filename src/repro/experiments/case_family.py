@@ -1,0 +1,115 @@
+"""The ``case`` simulation family: campaign specs over the 16 cases.
+
+Most figures sweep the reproduced overload cases (fig9-fig13, the
+ablations, robustness), varying only the controller configuration.  This
+module registers one builder covering every variant so all of them share
+cache entries for identical runs (e.g. the per-case non-overloaded
+baseline fig9, fig10, fig12, and fig13 all need).
+
+Recognized params (all JSON-able):
+
+``case_id``
+    Required; ``c1``..``c16``.
+``include_culprit``
+    Default True; False = the non-overloaded baseline workload.
+``system``
+    Baseline-system name for :func:`repro.baselines.controller_factory`
+    (``atropos``, ``protego``, ...).  None = uncontrolled.
+``policy``
+    Cancellation-policy id (``multi_objective`` / ``heuristic`` /
+    ``current_usage``); builds ATROPOS with that policy (fig13).
+``slo_latency``
+    SLO override (default: the case's own SLO).
+``atropos_overrides``
+    Extra :class:`~repro.core.config.AtroposConfig` fields merged over
+    the case's own overrides; presence of the key selects the direct
+    ATROPOS build path (fig12's ``slo_slack``, the ablation knobs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .harness import SimBuild, register_sim
+
+#: Stable policy ids used inside RunSpec params (JSON-friendly).
+POLICY_CLASSES = {
+    "multi_objective": "MultiObjectivePolicy",
+    "heuristic": "GreedyHeuristicPolicy",
+    "current_usage": "CurrentUsagePolicy",
+}
+
+
+def _policy_class(policy_id: str):
+    from ..core import policy as policy_module
+
+    try:
+        return getattr(policy_module, POLICY_CLASSES[policy_id])
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {policy_id!r}; known: {sorted(POLICY_CLASSES)}"
+        ) from None
+
+
+@register_sim("case")
+def build_case(params: Dict[str, Any]) -> SimBuild:
+    from ..baselines import controller_factory
+    from ..cases import get_case
+    from ..core.atropos import Atropos
+    from ..core.config import AtroposConfig
+
+    case = get_case(params["case_id"])
+    include_culprit = params.get("include_culprit", True)
+    system = params.get("system")
+    policy_id = params.get("policy")
+    slo_latency = params.get("slo_latency", case.slo_latency)
+
+    factory = None
+    if policy_id is not None or "atropos_overrides" in params:
+        merged = dict(case.atropos_overrides)
+        merged.update(params.get("atropos_overrides") or {})
+        policy_cls = _policy_class(policy_id) if policy_id else None
+
+        def factory(env):
+            config = AtroposConfig(slo_latency=slo_latency, **merged)
+            if policy_cls is None:
+                return Atropos(env, config)
+            return Atropos(
+                env,
+                config,
+                policy=policy_cls(min_age=config.min_cancel_age),
+            )
+
+    elif system is not None:
+        factory = controller_factory(
+            system, slo_latency, atropos_overrides=case.atropos_overrides
+        )
+
+    def workload(app, rng):
+        return case.workload_factory(app, rng, include_culprit)
+
+    return SimBuild(
+        app_factory=case.app_factory,
+        workload_factory=workload,
+        controller_factory=factory,
+        duration=case.duration,
+        warmup=case.warmup,
+    )
+
+
+def case_spec(experiment: str, case_id: str, seed: int = 0, **params) -> "RunSpec":
+    """Convenience constructor for ``case`` RunSpecs.
+
+    Params equal to their defaults are omitted so physically identical
+    runs hash identically across experiments (shared cache entries).
+    """
+    from ..campaign.spec import RunSpec
+
+    clean = {"case_id": case_id}
+    for key, value in params.items():
+        if key == "include_culprit" and value is True:
+            continue
+        if value is None:
+            continue
+        clean[key] = value
+    return RunSpec(experiment=experiment, family="case", params=clean, seed=seed)

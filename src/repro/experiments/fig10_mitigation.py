@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..baselines import controller_factory
-from ..cases import all_case_ids, get_case
+from ..campaign import execute
+from ..cases import all_case_ids
+from .case_family import case_spec
 from .harness import normalize
 from .tables import ExperimentResult, ExperimentTable
 
@@ -35,18 +36,16 @@ def run(
         "Fig 10 extras: Atropos drop rate and cancellations per case",
         ["case", "drop_rate", "cancels"],
     )
+    specs = []
     for cid in case_ids:
-        case = get_case(cid)
-        baseline = case.run_baseline(seed=seed)
-        overload = case.run(seed=seed)
-        atropos = case.run(
-            controller_factory=controller_factory(
-                "atropos",
-                case.slo_latency,
-                atropos_overrides=case.atropos_overrides,
-            ),
-            seed=seed,
-        )
+        specs.append(case_spec("fig10", cid, seed, include_culprit=False))
+        specs.append(case_spec("fig10", cid, seed))
+        specs.append(case_spec("fig10", cid, seed, system="atropos"))
+    outcomes = iter(execute(specs))
+    for cid in case_ids:
+        baseline = next(outcomes)
+        overload = next(outcomes)
+        atropos = next(outcomes)
         tput.add_row(
             cid,
             normalize(overload.throughput, baseline.throughput),
@@ -57,9 +56,7 @@ def run(
             normalize(overload.p99_latency, baseline.p99_latency),
             normalize(atropos.p99_latency, baseline.p99_latency),
         )
-        extras.add_row(
-            cid, atropos.drop_rate, atropos.controller.cancels_issued
-        )
+        extras.add_row(cid, atropos.drop_rate, atropos.cancels)
     summary = ExperimentTable(
         "Fig 10 summary (paper: Atropos 96% tput, 1.16x p99, <0.01% drops)",
         ["metric", "value"],

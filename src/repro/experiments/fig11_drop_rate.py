@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..baselines import controller_factory
-from ..cases import get_case
+from ..campaign import execute
+from .case_family import case_spec
 from .tables import ExperimentResult, ExperimentTable
 
 #: The cases shown in the paper's Figure 11.
@@ -28,20 +28,14 @@ def run(
     table = ExperimentTable(
         "Fig 11: drop rate per case", ["case", "Protego", "Atropos"]
     )
+    specs = []
     for cid in case_ids:
-        case = get_case(cid)
-        protego = case.run(
-            controller_factory=controller_factory("protego", case.slo_latency),
-            seed=seed,
-        )
-        atropos = case.run(
-            controller_factory=controller_factory(
-                "atropos",
-                case.slo_latency,
-                atropos_overrides=case.atropos_overrides,
-            ),
-            seed=seed,
-        )
+        specs.append(case_spec("fig11", cid, seed, system="protego"))
+        specs.append(case_spec("fig11", cid, seed, system="atropos"))
+    outcomes = iter(execute(specs))
+    for cid in case_ids:
+        protego = next(outcomes)
+        atropos = next(outcomes)
         table.add_row(cid, protego.drop_rate, atropos.drop_rate)
     summary = ExperimentTable(
         "Fig 11 summary", ["system", "avg_drop_rate"]

@@ -9,44 +9,20 @@ The SLO is expressed relative to each case's non-overloaded mean latency
 (``slo_latency = baseline_mean * (1 + goal)``), and the reported latency
 increase covers the *SLO-bearing lightweight operations* -- the ops that
 exist in the non-overloaded baseline -- so the culprit's own multi-second
-runtime does not pollute the comparison.
+runtime does not pollute the comparison.  Per-op latencies come from the
+warm-up-trimmed records, consistent with every other summary metric.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional
 
-from ..core.atropos import Atropos
-from ..core.config import AtroposConfig
-from ..cases import get_case
-from .harness import RunResult
+from ..campaign import execute
+from .case_family import case_spec
 from .tables import ExperimentResult, ExperimentTable
 
 FIG12_CASES = ["c1", "c2", "c10", "c11", "c14", "c15"]
 SLO_GOALS = [0.10, 0.20, 0.40, 0.60]
-
-
-def _atropos_for_goal(baseline_mean: float, goal: float, overrides=None):
-    def build(env):
-        return Atropos(
-            env,
-            AtroposConfig(
-                slo_latency=baseline_mean * (1.0 + goal),
-                slo_slack=1.0,
-                **(overrides or {}),
-            ),
-        )
-
-    return build
-
-
-def _mean_latency_over(result: RunResult, op_names: Set[str]) -> float:
-    latencies = [
-        r.latency
-        for r in result.collector.records
-        if r.completed and r.op_name in op_names
-    ]
-    return sum(latencies) / len(latencies) if latencies else float("nan")
 
 
 def run(
@@ -66,26 +42,41 @@ def run(
         "Fig 12 extras: cancellations issued vs SLO goal",
         ["case"] + [f"goal_{int(g * 100)}%" for g in goals],
     )
-    for cid in case_ids:
-        case = get_case(cid)
-        baseline = case.run_baseline(seed=seed)
-        light_ops = {
-            r.op_name for r in baseline.collector.records if r.completed
-        }
-        base_mean = _mean_latency_over(baseline, light_ops)
+    # Phase 1: per-case baselines define the light-op set and its mean.
+    baselines = execute(
+        [
+            case_spec("fig12", cid, seed, include_culprit=False)
+            for cid in case_ids
+        ]
+    )
+    # Phase 2: the goal sweep, with SLOs derived from phase 1.
+    per_case = []
+    specs = []
+    for cid, baseline in zip(case_ids, baselines):
+        light_ops = baseline.completed_ops()
+        base_mean = baseline.mean_latency_over(light_ops)
+        per_case.append((light_ops, base_mean))
+        for goal in goals:
+            specs.append(
+                case_spec(
+                    "fig12",
+                    cid,
+                    seed,
+                    system="atropos",
+                    slo_latency=base_mean * (1.0 + goal),
+                    atropos_overrides={"slo_slack": 1.0},
+                )
+            )
+    outcomes = iter(execute(specs))
+    for cid, (light_ops, base_mean) in zip(case_ids, per_case):
         inc_row = [cid]
         cancel_row = [cid]
-        for goal in goals:
-            result = case.run(
-                controller_factory=_atropos_for_goal(
-                    base_mean, goal, case.atropos_overrides
-                ),
-                seed=seed,
-            )
+        for _ in goals:
+            outcome = next(outcomes)
             inc_row.append(
-                _mean_latency_over(result, light_ops) / base_mean - 1.0
+                outcome.mean_latency_over(light_ops) / base_mean - 1.0
             )
-            cancel_row.append(result.controller.cancels_issued)
+            cancel_row.append(outcome.cancels)
         increase.add_row(*inc_row)
         cancels.add_row(*cancel_row)
     return ExperimentResult(

@@ -20,33 +20,21 @@ from typing import List, Optional
 
 from ..apps.base import Operation
 from ..apps.mysql import MySQL, MySQLConfig, light_mix
-from ..cases import all_case_ids, get_case
+from ..campaign import RunSpec, execute
+from ..cases import all_case_ids
 from ..core.atropos import Atropos
 from ..core.config import AtroposConfig
-from ..core.policy import (
-    CurrentUsagePolicy,
-    GreedyHeuristicPolicy,
-    MultiObjectivePolicy,
-)
 from ..workloads.spec import OpenLoopSource, ScheduledOp, Workload
-from .harness import normalize, run_simulation
+from .case_family import _policy_class, case_spec
+from .harness import SimBuild, normalize, register_sim
 from .tables import ExperimentResult, ExperimentTable
 
+#: Display label -> stable policy id used in RunSpec params.
 POLICIES = {
-    "Multi-Objective": MultiObjectivePolicy,
-    "Heuristic": GreedyHeuristicPolicy,
-    "Current Usage": CurrentUsagePolicy,
+    "Multi-Objective": "multi_objective",
+    "Heuristic": "heuristic",
+    "Current Usage": "current_usage",
 }
-
-
-def _atropos_with_policy(policy_cls, slo_latency: float, overrides=None):
-    def build(env):
-        config = AtroposConfig(slo_latency=slo_latency, **(overrides or {}))
-        return Atropos(
-            env, config, policy=policy_cls(min_age=config.min_cancel_age)
-        )
-
-    return build
 
 
 def run(
@@ -64,20 +52,24 @@ def run(
         "Fig 13 extras: normalized p99 per policy",
         ["case"] + list(POLICIES),
     )
+    specs = []
     for cid in case_ids:
-        case = get_case(cid)
-        baseline = case.run_baseline(seed=seed)
+        specs.append(case_spec("fig13", cid, seed, include_culprit=False))
+        for policy_id in POLICIES.values():
+            specs.append(case_spec("fig13", cid, seed, policy=policy_id))
+    outcomes = iter(execute(specs))
+    for cid in case_ids:
+        baseline = next(outcomes)
         tput_row = [cid]
         p99_row = [cid]
-        for policy_cls in POLICIES.values():
-            result = case.run(
-                controller_factory=_atropos_with_policy(
-                    policy_cls, case.slo_latency, case.atropos_overrides
-                ),
-                seed=seed,
+        for _ in POLICIES:
+            outcome = next(outcomes)
+            tput_row.append(
+                normalize(outcome.throughput, baseline.throughput)
             )
-            tput_row.append(normalize(result.throughput, baseline.throughput))
-            p99_row.append(normalize(result.p99_latency, baseline.p99_latency))
+            p99_row.append(
+                normalize(outcome.p99_latency, baseline.p99_latency)
+            )
         tput.add_row(*tput_row)
         p99.add_row(*p99_row)
     summary = ExperimentTable(
@@ -125,6 +117,31 @@ def _late_culprit_workload(app, rng):
     )
 
 
+@register_sim("fig13.late")
+def _build_late(params):
+    """The late-culprit scenario under one cancellation policy."""
+    policy_cls = _policy_class(params["policy"])
+    # Pool sized so hot set + report fit together: contention appears
+    # only when the dump arrives.
+    config = MySQLConfig(buffer_pool_pages=3200)
+
+    def controller(env):
+        atropos_config = AtroposConfig(slo_latency=0.02)
+        return Atropos(
+            env,
+            atropos_config,
+            policy=policy_cls(min_age=atropos_config.min_cancel_age),
+        )
+
+    return SimBuild(
+        lambda env, ctl, rng: MySQL(env, ctl, rng, config=config),
+        _late_culprit_workload,
+        controller_factory=controller,
+        duration=12.0,
+        warmup=2.0,
+    )
+
+
 def late_culprit_scenario(seed: int = 0) -> ExperimentTable:
     """Run the late-culprit scenario under each policy."""
     table = ExperimentTable(
@@ -132,23 +149,17 @@ def late_culprit_scenario(seed: int = 0) -> ExperimentTable:
         "dump)",
         ["policy", "p99_latency", "cancels", "first_cancelled_op"],
     )
-    # Pool sized so hot set + report fit together: contention appears
-    # only when the dump arrives.
-    config = MySQLConfig(buffer_pool_pages=3200)
-    for name, policy_cls in POLICIES.items():
-        result = run_simulation(
-            lambda env, ctl, rng: MySQL(env, ctl, rng, config=config),
-            _late_culprit_workload,
-            controller_factory=_atropos_with_policy(policy_cls, 0.02),
-            duration=12.0,
-            warmup=2.0,
-            seed=seed,
-        )
-        log = result.controller.cancellation.log
+    outcomes = execute(
+        [
+            RunSpec("fig13", "fig13.late", {"policy": policy_id}, seed=seed)
+            for policy_id in POLICIES.values()
+        ]
+    )
+    for name, outcome in zip(POLICIES, outcomes):
         table.add_row(
             name,
-            result.p99_latency,
-            result.controller.cancels_issued,
-            log[0].op_name if log else "-",
+            outcome.p99_latency,
+            outcome.cancels,
+            outcome.first_cancelled_op or "-",
         )
     return table

@@ -20,10 +20,11 @@ from ..apps.elasticsearch import Elasticsearch, ElasticsearchConfig
 from ..apps.mysql import MySQL, MySQLConfig, light_mix
 from ..apps.postgres import PostgreSQL, PostgresConfig
 from ..apps.solr import Solr, SolrConfig
+from ..campaign import RunSpec, execute
 from ..core.atropos import Atropos
 from ..core.config import AtroposConfig
 from ..workloads.spec import MixEntry, OpenLoopSource, ScheduledOp, Workload
-from .harness import normalize, run_simulation
+from .harness import SimBuild, normalize, register_sim
 from .tables import ExperimentResult, ExperimentTable
 
 WORKLOADS = ["Read", "Write", "Read Overload", "Write Overload"]
@@ -112,6 +113,19 @@ def _tracing_only_atropos(env):
     return Atropos(env, AtroposConfig(cancellation_enabled=False))
 
 
+@register_sim("fig14.point")
+def _build_point(params):
+    spec = APP_SPECS[params["app"]]
+    return SimBuild(
+        spec[0],
+        _workload(spec, params["read_heavy"], params["overload"]),
+        controller_factory=_tracing_only_atropos
+        if params["instrumented"]
+        else None,
+        warmup=2.0,
+    )
+
+
 def run(
     quick: bool = True,
     seed: int = 0,
@@ -128,26 +142,32 @@ def run(
         "Fig 14b: normalized p99 latency (Atropos / uninstrumented)",
         ["app"] + WORKLOADS,
     )
+    specs = []
     for app_name in apps:
-        spec = APP_SPECS[app_name]
-        factory = spec[0]
+        for workload_name in WORKLOADS:
+            for instrumented in (False, True):
+                specs.append(
+                    RunSpec(
+                        "fig14",
+                        "fig14.point",
+                        {
+                            "app": app_name,
+                            "read_heavy": workload_name.startswith("Read"),
+                            "overload": "Overload" in workload_name,
+                            "instrumented": instrumented,
+                        },
+                        seed=seed,
+                        duration=duration,
+                        warmup=2.0,
+                    )
+                )
+    outcomes = iter(execute(specs))
+    for app_name in apps:
         tput_row = [app_name]
         p99_row = [app_name]
-        for workload_name in WORKLOADS:
-            read_heavy = workload_name.startswith("Read")
-            overload = "Overload" in workload_name
-            wl = _workload(spec, read_heavy, overload)
-            plain = run_simulation(
-                factory, wl, duration=duration, warmup=2.0, seed=seed
-            )
-            traced = run_simulation(
-                factory,
-                wl,
-                controller_factory=_tracing_only_atropos,
-                duration=duration,
-                warmup=2.0,
-                seed=seed,
-            )
+        for _ in WORKLOADS:
+            plain = next(outcomes)
+            traced = next(outcomes)
             tput_row.append(normalize(traced.throughput, plain.throughput))
             p99_row.append(normalize(traced.p99_latency, plain.p99_latency))
         tput.add_row(*tput_row)

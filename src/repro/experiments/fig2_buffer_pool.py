@@ -17,8 +17,9 @@ from typing import List, Optional
 
 from ..apps.base import Operation
 from ..apps.mysql import MySQL, MySQLConfig, light_mix
+from ..campaign import RunSpec, execute
 from ..workloads.spec import MixEntry, OpenLoopSource, Workload
-from .harness import run_simulation
+from .harness import SimBuild, register_sim
 from .tables import ExperimentResult, ExperimentTable
 
 #: (series label from the paper, scaled dump weight in the mix).
@@ -53,6 +54,13 @@ def _workload(rate: float, dump_weight: float):
     return build
 
 
+@register_sim("fig2.point")
+def _build_point(params):
+    return SimBuild(
+        _mysql, _workload(params["load"], params["dump_weight"])
+    )
+
+
 def run(
     quick: bool = True,
     duration: float = 10.0,
@@ -70,19 +78,29 @@ def run(
         "Fig 2 (bottom): p99 latency (s) vs offered load",
         ["offered_load"] + [label for label, _ in SCENARIOS],
     )
+    outcomes = iter(
+        execute(
+            [
+                RunSpec(
+                    "fig2",
+                    "fig2.point",
+                    {"load": load, "dump_weight": weight},
+                    seed=seed,
+                    duration=duration,
+                    warmup=warmup,
+                )
+                for load in loads
+                for _, weight in SCENARIOS
+            ]
+        )
+    )
     for load in loads:
         tput_row = [load]
         p99_row = [load]
-        for _, weight in SCENARIOS:
-            result = run_simulation(
-                _mysql,
-                _workload(load, weight),
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-            )
-            tput_row.append(result.throughput)
-            p99_row.append(result.p99_latency)
+        for _ in SCENARIOS:
+            outcome = next(outcomes)
+            tput_row.append(outcome.throughput)
+            p99_row.append(outcome.p99_latency)
         tput.add_row(*tput_row)
         p99.add_row(*p99_row)
     return ExperimentResult(

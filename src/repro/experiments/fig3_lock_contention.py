@@ -16,8 +16,9 @@ from typing import List, Optional
 
 from ..apps.base import Operation
 from ..apps.mysql import MySQL, MySQLConfig, light_mix
+from ..campaign import RunSpec, execute
 from ..workloads.spec import OpenLoopSource, ScheduledOp, Workload
-from .harness import run_simulation
+from .harness import SimBuild, register_sim
 from .tables import ExperimentResult, ExperimentTable
 
 SCENARIOS = ["Lock Contention", "Drop Scan", "Drop Backup"]
@@ -62,6 +63,50 @@ def _workload(rate: float, scans: bool, backup: bool):
     return build
 
 
+@register_sim("fig3.point")
+def _build_point(params):
+    """One lock-contention run, optionally under a controller (fig4)."""
+    system = params.get("system")
+    factory = None
+    if system is not None:
+        from ..baselines import controller_factory
+
+        factory = controller_factory(system, params["slo_latency"])
+    return SimBuild(
+        _mysql,
+        _workload(
+            params["load"], scans=params["scans"], backup=params["backup"]
+        ),
+        controller_factory=factory,
+        duration=DURATION,
+        warmup=2.0,
+    )
+
+
+def point_spec(
+    experiment: str,
+    load: float,
+    scans: bool,
+    backup: bool,
+    seed: int = 0,
+    system: Optional[str] = None,
+    slo_latency: Optional[float] = None,
+) -> RunSpec:
+    """A ``fig3.point`` RunSpec (shared by fig3 and fig4)."""
+    params = {"load": load, "scans": scans, "backup": backup}
+    if system is not None:
+        params["system"] = system
+        params["slo_latency"] = slo_latency
+    return RunSpec(
+        experiment,
+        "fig3.point",
+        params,
+        seed=seed,
+        duration=DURATION,
+        warmup=2.0,
+    )
+
+
 def run(
     quick: bool = True,
     seed: int = 0,
@@ -82,20 +127,22 @@ def run(
         "Drop Scan": (False, True),
         "Drop Backup": (True, False),
     }
+    outcomes = iter(
+        execute(
+            [
+                point_spec("fig3", load, *variants[name], seed=seed)
+                for load in loads
+                for name in SCENARIOS
+            ]
+        )
+    )
     for load in loads:
         tput_row = [load]
         p99_row = [load]
-        for name in SCENARIOS:
-            scans, backup = variants[name]
-            result = run_simulation(
-                _mysql,
-                _workload(load, scans=scans, backup=backup),
-                duration=DURATION,
-                warmup=2.0,
-                seed=seed,
-            )
-            tput_row.append(result.throughput)
-            p99_row.append(result.p99_latency)
+        for _ in SCENARIOS:
+            outcome = next(outcomes)
+            tput_row.append(outcome.throughput)
+            p99_row.append(outcome.p99_latency)
         tput.add_row(*tput_row)
         p99.add_row(*p99_row)
     return ExperimentResult(

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..baselines import controller_factory
-from .fig3_lock_contention import DURATION, _mysql, _workload
-from .harness import normalize, run_simulation
+from ..campaign import execute
+from .fig3_lock_contention import point_spec
+from .harness import normalize
 from .tables import ExperimentResult, ExperimentTable
 
 SYSTEMS = ["atropos", "protego", "pbox"]
@@ -43,31 +43,38 @@ def run(
         "Fig 4c: drop rate vs offered load",
         ["offered_load"] + SYSTEMS,
     )
+    specs = []
     for load in loads:
-        baseline = run_simulation(
-            _mysql,
-            _workload(load, scans=False, backup=False),
-            duration=DURATION,
-            warmup=2.0,
-            seed=seed,
-        )
+        # Non-overloaded baseline at the same load, then each system on
+        # the full scans+backup convoy.
+        specs.append(point_spec("fig4", load, False, False, seed=seed))
+        for system in SYSTEMS:
+            specs.append(
+                point_spec(
+                    "fig4",
+                    load,
+                    True,
+                    True,
+                    seed=seed,
+                    system=system,
+                    slo_latency=SLO_LATENCY,
+                )
+            )
+    outcomes = iter(execute(specs))
+    for load in loads:
+        baseline = next(outcomes)
         tput_row = [load]
         p99_row = [load]
         drop_row = [load]
-        for system in SYSTEMS:
-            result = run_simulation(
-                _mysql,
-                _workload(load, scans=True, backup=True),
-                controller_factory=controller_factory(system, SLO_LATENCY),
-                duration=DURATION,
-                warmup=2.0,
-                seed=seed,
+        for _ in SYSTEMS:
+            outcome = next(outcomes)
+            tput_row.append(
+                normalize(outcome.throughput, baseline.throughput)
             )
-            tput_row.append(normalize(result.throughput, baseline.throughput))
             p99_row.append(
-                normalize(result.p99_latency, baseline.p99_latency)
+                normalize(outcome.p99_latency, baseline.p99_latency)
             )
-            drop_row.append(result.drop_rate)
+            drop_row.append(outcome.drop_rate)
         tput.add_row(*tput_row)
         p99.add_row(*p99_row)
         drops.add_row(*drop_row)

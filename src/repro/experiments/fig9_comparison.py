@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..baselines import controller_factory
-from ..cases import all_case_ids, get_case
+from ..campaign import execute
+from ..cases import all_case_ids
+from .case_family import case_spec
 from .harness import normalize
 from .tables import ExperimentResult, ExperimentTable
 
@@ -35,22 +36,24 @@ def run(
     p99 = ExperimentTable(
         "Fig 9b: normalized p99 latency per case", ["case"] + systems
     )
+    specs = []
     for cid in case_ids:
-        case = get_case(cid)
-        baseline = case.run_baseline(seed=seed)
+        specs.append(case_spec("fig9", cid, seed, include_culprit=False))
+        for system in systems:
+            specs.append(case_spec("fig9", cid, seed, system=system))
+    outcomes = iter(execute(specs))
+    for cid in case_ids:
+        baseline = next(outcomes)
         tput_row = [cid]
         p99_row = [cid]
-        for system in systems:
-            result = case.run(
-                controller_factory=controller_factory(
-                    system,
-                    case.slo_latency,
-                    atropos_overrides=case.atropos_overrides,
-                ),
-                seed=seed,
+        for _ in systems:
+            outcome = next(outcomes)
+            tput_row.append(
+                normalize(outcome.throughput, baseline.throughput)
             )
-            tput_row.append(normalize(result.throughput, baseline.throughput))
-            p99_row.append(normalize(result.p99_latency, baseline.p99_latency))
+            p99_row.append(
+                normalize(outcome.p99_latency, baseline.p99_latency)
+            )
         tput.add_row(*tput_row)
         p99.add_row(*p99_row)
 

@@ -2,12 +2,19 @@
 
 Every experiment, test, and example assembles runs through this module so
 that results are comparable and deterministic per seed.
+
+Beyond the imperative :func:`run_simulation` entry point, this module
+hosts the **simulation-spec registry** used by the campaign runner
+(:mod:`repro.campaign`): experiments register named *builders* that turn
+a plain JSON-able parameter dict into the factories ``run_simulation``
+needs.  Closures are not picklable, so worker processes resolve builders
+by name through this registry instead of receiving factories directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
 
 from ..core.controller import BaseController, NullController
 from ..obs.tracer import get_active_tracer
@@ -35,6 +42,8 @@ class RunResult:
     app: object
     driver: Driver
     duration: float
+    #: Warm-up horizon used for the summary (0 = nothing trimmed).
+    warmup: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -48,11 +57,23 @@ class RunResult:
     def drop_rate(self) -> float:
         return self.summary.drop_rate
 
+    @property
+    def trimmed_collector(self) -> MetricsCollector:
+        """The warm-up-trimmed view of :attr:`collector`.
+
+        :attr:`summary` is computed from exactly this view; use it
+        whenever derived metrics should be comparable to the summary.
+        With ``warmup == 0`` it is :attr:`collector` itself.
+        """
+        return self.collector.trimmed(self.warmup)
+
     def timeline(self, window: float = 0.5):
         """Per-window (end_time, throughput, p99) series over the run.
 
         Useful for plotting how an overload forms and how quickly the
-        controller recovers.
+        controller recovers.  Uses the same warm-up-trimmed view as
+        :attr:`summary`, so windows inside the warm-up report zero
+        throughput; the time axis always covers [0, duration].
         """
         from ..sim.metrics import percentile
 
@@ -61,7 +82,7 @@ class RunResult:
         points = []
         n_windows = max(1, int(self.duration / window))
         buckets = [[] for _ in range(n_windows)]
-        for record in self.collector.records:
+        for record in self.trimmed_collector.records:
             if not record.completed:
                 continue
             idx = min(int(record.finish_time // window), n_windows - 1)
@@ -125,19 +146,8 @@ def run_simulation(
     env.run(until=duration)
     env.tracer.close_open_spans(env.now)
 
-    if warmup > 0.0:
-        trimmed = MetricsCollector()
-        trimmed._offered = collector.offered
-        for record in collector.records:
-            if record.finish_time >= warmup:
-                trimmed.record(record)
-        collector_for_summary = trimmed
-        effective = duration - warmup
-    else:
-        collector_for_summary = collector
-        effective = duration
-
-    summary = Summary.from_collector(collector_for_summary, effective)
+    effective = duration - warmup if warmup > 0.0 else duration
+    summary = Summary.from_collector(collector.trimmed(warmup), effective)
     return RunResult(
         summary=summary,
         collector=collector,
@@ -145,6 +155,7 @@ def run_simulation(
         app=app,
         driver=driver,
         duration=duration,
+        warmup=warmup,
     )
 
 
@@ -153,3 +164,92 @@ def normalize(value: float, baseline: float) -> float:
     if baseline == 0:
         return float("nan")
     return value / baseline
+
+
+# ----------------------------------------------------------------------
+# Simulation-spec registry (campaign support)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SimBuild:
+    """The resolved ingredients of one :func:`run_simulation` call.
+
+    Returned by registered spec builders; the campaign runner combines
+    it with the RunSpec's seed/duration/warmup overrides.
+    """
+
+    app_factory: AppFactory
+    workload_factory: WorkloadFactory
+    controller_factory: Optional[ControllerFactory] = None
+    #: Defaults used when the RunSpec leaves duration/warmup unset.
+    duration: float = 10.0
+    warmup: float = 0.0
+
+
+#: Family name -> builder(params: dict) -> SimBuild.
+_SIM_BUILDERS: Dict[str, Callable[[Dict[str, Any]], SimBuild]] = {}
+
+
+def register_sim(name: str):
+    """Decorator registering a simulation builder under ``name``.
+
+    Builders must accept one JSON-able parameter dict and return a
+    :class:`SimBuild`.  Names are namespaced by convention
+    (``fig2.point``, ``case``, ``fig13.late``); registering a name twice
+    is an error except for idempotent re-registration of the same
+    function (spawn-based workers re-import defining modules).
+    """
+
+    def wrap(builder: Callable[[Dict[str, Any]], SimBuild]):
+        existing = _SIM_BUILDERS.get(name)
+        if existing is not None and existing is not builder:
+            raise ValueError(f"sim builder {name!r} already registered")
+        _SIM_BUILDERS[name] = builder
+        return builder
+
+    return wrap
+
+
+def resolve_sim(name: str) -> Callable[[Dict[str, Any]], SimBuild]:
+    """Look up a registered builder; raises KeyError with known names."""
+    try:
+        return _SIM_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sim family {name!r}; known: {sorted(_SIM_BUILDERS)} "
+            "(did the defining module get imported? see "
+            "repro.campaign.load_all_families)"
+        ) from None
+
+
+def registered_sims() -> Dict[str, Callable[[Dict[str, Any]], SimBuild]]:
+    """Snapshot of the registry (for introspection/tests)."""
+    return dict(_SIM_BUILDERS)
+
+
+def extract_extras(result: RunResult) -> Dict[str, Any]:
+    """Condense the non-Summary metrics experiments consume into JSON.
+
+    Everything any figure needs beyond the :class:`Summary` -- controller
+    cancellation counters and per-operation completed-latency sums over
+    the warm-up-trimmed records -- so cached campaign results can feed
+    every consumer without keeping RunResult objects around.
+    """
+    controller = result.controller
+    extras: Dict[str, Any] = {
+        "cancels_issued": int(getattr(controller, "cancels_issued", 0)),
+    }
+    cancellation = getattr(controller, "cancellation", None)
+    log = getattr(cancellation, "log", None)
+    extras["first_cancelled_op"] = log[0].op_name if log else None
+    ops: Dict[str, Any] = {}
+    for record in result.trimmed_collector.records:
+        if not record.completed:
+            continue
+        entry = ops.get(record.op_name)
+        if entry is None:
+            entry = ops[record.op_name] = {"n": 0, "latency_sum": 0.0}
+        entry["n"] += 1
+        entry["latency_sum"] += record.latency
+    extras["ops"] = {name: ops[name] for name in sorted(ops)}
+    return extras

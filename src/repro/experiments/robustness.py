@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..baselines import controller_factory
-from ..cases import get_case
+from ..campaign import execute
+from .case_family import case_spec
 from .harness import normalize
 from .tables import ExperimentResult, ExperimentTable
 
@@ -37,19 +37,19 @@ def run(
             "drop_max",
         ],
     )
+    specs = []
     for cid in case_ids:
-        case = get_case(cid)
-        tputs, p99s, drops = [], [], []
         for seed in seeds:
-            baseline = case.run_baseline(seed=seed)
-            atropos = case.run(
-                controller_factory=controller_factory(
-                    "atropos",
-                    case.slo_latency,
-                    atropos_overrides=case.atropos_overrides,
-                ),
-                seed=seed,
+            specs.append(
+                case_spec("robustness", cid, seed, include_culprit=False)
             )
+            specs.append(case_spec("robustness", cid, seed, system="atropos"))
+    outcomes = iter(execute(specs))
+    for cid in case_ids:
+        tputs, p99s, drops = [], [], []
+        for _ in seeds:
+            baseline = next(outcomes)
+            atropos = next(outcomes)
             tputs.append(normalize(atropos.throughput, baseline.throughput))
             p99s.append(normalize(atropos.p99_latency, baseline.p99_latency))
             drops.append(atropos.drop_rate)

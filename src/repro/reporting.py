@@ -62,11 +62,12 @@ def render_report(
         lines.append(result.format())
         lines.append("```")
         lines.append("")
-    # Anything requested outside the default order.
-    for exp_id, result in results.items():
+    # Anything requested outside the default order, sorted by id so the
+    # rendered report is stable regardless of dict insertion order.
+    for exp_id in sorted(results):
         if exp_id not in DEFAULT_ORDER:
             lines.append("```")
-            lines.append(result.format())
+            lines.append(results[exp_id].format())
             lines.append("```")
             lines.append("")
     if tracer is not None and getattr(tracer, "enabled", False):

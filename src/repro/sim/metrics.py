@@ -91,6 +91,23 @@ class MetricsCollector:
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
 
+    def trimmed(self, cutoff: float) -> "MetricsCollector":
+        """A collector view excluding records finishing before ``cutoff``.
+
+        Used by the harness to drop the warm-up transient: the offered
+        count is carried over unchanged (offered load does not stop
+        during warm-up), while only records with ``finish_time >=
+        cutoff`` are kept.  ``cutoff <= 0`` returns ``self`` (no copy).
+        """
+        if cutoff <= 0:
+            return self
+        view = MetricsCollector()
+        view.note_offered(self.offered)
+        for record in self.records:
+            if record.finish_time >= cutoff:
+                view.record(record)
+        return view
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------

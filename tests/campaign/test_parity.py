@@ -1,0 +1,40 @@
+"""Satellite acceptance test: parallel == serial == cached, byte for byte.
+
+Runs a small campaign spanning three experiments (fig2, fig3, fig11 with
+reduced sweeps) twice cold -- once serial, once with four workers -- and
+once warm, asserting the rendered reports are byte-identical and that
+the warm pass is served entirely from the cache.
+"""
+
+from repro.campaign import reset_session_stats, session_stats, settings
+from repro.reporting import render_report
+
+
+def _run_campaign(jobs, cache_dir):
+    from repro.experiments import fig2_buffer_pool, fig3_lock_contention, \
+        fig11_drop_rate
+
+    reset_session_stats()
+    with settings(jobs=jobs, cache=True, cache_dir=cache_dir):
+        results = {
+            "fig2": fig2_buffer_pool.run(loads=[200.0]),
+            "fig3": fig3_lock_contention.run(loads=[200.0]),
+            "fig11": fig11_drop_rate.run(case_ids=["c1", "c3"]),
+        }
+    return render_report(results), session_stats()
+
+
+class TestCampaignParity:
+    def test_parallel_and_cache_are_byte_identical(self, tmp_path):
+        serial, serial_stats = _run_campaign(1, tmp_path / "serial")
+        assert serial_stats.hits == 0
+
+        parallel, parallel_stats = _run_campaign(4, tmp_path / "parallel")
+        assert parallel_stats.hits == 0
+        assert parallel == serial
+
+        warm, warm_stats = _run_campaign(4, tmp_path / "parallel")
+        assert warm == serial
+        assert warm_stats.misses == 0
+        assert warm_stats.hit_rate == 1.0
+        assert warm_stats.runs == parallel_stats.runs

@@ -1,0 +1,81 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+from repro.campaign.spec import CACHE_SCHEMA
+from repro.campaign.store import ResultStore
+
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def _payload(**extra):
+    payload = {"schema": CACHE_SCHEMA, "spec": {"experiment": "e",
+               "family": "f", "seed": 0}, "summary": {}, "extras": {},
+               "walltime": 0.5}
+    payload.update(extra)
+    return payload
+
+
+class TestResultStore:
+    def test_get_on_empty_store_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        assert store.get(KEY) is None
+        assert KEY not in store
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        assert KEY in store
+        assert store.get(KEY) == _payload()
+
+    def test_keys_are_sharded_by_prefix(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        assert (tmp_path / "cache" / f"v{CACHE_SCHEMA}" / "ab"
+                / f"{KEY}.json").is_file()
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        path = store._path(KEY)
+        path.write_text("{not json")
+        assert store.get(KEY) is None
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload(schema=CACHE_SCHEMA + 1))
+        assert store.get(KEY) is None
+
+    def test_put_appends_index_records(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        store.put(OTHER, _payload())
+        lines = (tmp_path / "cache" / "index.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["key"] == KEY
+        assert record["experiment"] == "e"
+        assert record["walltime"] == 0.5
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        store.put(OTHER, _payload())
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.index_records == 2
+        assert stats.total_bytes > 0
+        assert "entries:       2" in stats.format()
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        assert store.clear() == 1
+        assert store.get(KEY) is None
+        assert store.stats().entries == 0
+        assert store.stats().index_records == 0
+
+    def test_clear_empty_store_is_safe(self, tmp_path):
+        assert ResultStore(tmp_path / "nothing").clear() == 0

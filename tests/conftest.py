@@ -1,0 +1,19 @@
+"""Shared test configuration.
+
+Tests that exercise experiment runners go through the campaign layer,
+which by default caches results under ``.repro-cache`` in the current
+directory.  Point the cache at a per-session temporary directory so test
+runs never pollute the working tree (and never *reuse* a developer's
+cache, which would mask regressions in the simulation itself).
+"""
+
+import pytest
+
+from repro.campaign.store import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv(
+        CACHE_DIR_ENV, str(tmp_path_factory.getbasetemp() / "repro-cache")
+    )

@@ -76,6 +76,44 @@ class TestHarness:
         # The raw collector still holds everything.
         assert len(trimmed.collector.records) == len(full.collector.records)
 
+    def test_summary_and_timeline_share_the_trimmed_view(self):
+        from repro.apps.mysql import MySQL, light_mix
+        from repro.workloads import OpenLoopSource, Workload
+
+        result = run_simulation(
+            lambda env, ctl, rng: MySQL(env, ctl, rng),
+            lambda app, rng: Workload(
+                [OpenLoopSource(rate=100.0, mix=light_mix(rng))]
+            ),
+            duration=4.0,
+            warmup=2.0,
+        )
+        view = result.trimmed_collector
+        # The public trimmed view is exactly what the summary was built
+        # from...
+        assert result.summary.completed == sum(
+            1 for r in view.records if r.status.name == "COMPLETED"
+        )
+        assert all(r.finish_time >= 2.0 for r in view.records)
+        # ...and the timeline uses it too: the warm-up windows are empty.
+        points = result.timeline(window=1.0)
+        assert [p[0] for p in points] == [1.0, 2.0, 3.0, 4.0]
+        assert points[0][1] == 0.0 and points[1][1] == 0.0
+        assert points[2][1] > 0.0
+
+    def test_trimmed_collector_with_zero_warmup_is_identity(self):
+        from repro.apps.mysql import MySQL, light_mix
+        from repro.workloads import OpenLoopSource, Workload
+
+        result = run_simulation(
+            lambda env, ctl, rng: MySQL(env, ctl, rng),
+            lambda app, rng: Workload(
+                [OpenLoopSource(rate=100.0, mix=light_mix(rng))]
+            ),
+            duration=2.0,
+        )
+        assert result.trimmed_collector is result.collector
+
     def test_registry_covers_every_artifact(self):
         expected = {
             "fig2", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12",

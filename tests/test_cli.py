@@ -27,6 +27,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["case", "c1", "--system", "bogus"])
 
+    def test_run_parses_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig10", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 4
+        assert args.cache is False
+        assert args.cache_dir == "/tmp/x"
+
+    def test_campaign_flags_default_to_ambient(self):
+        args = build_parser().parse_args(["run", "fig10"])
+        assert args.jobs is None
+        assert args.cache is None
+        assert args.cache_dir is None
+
+    def test_sweep_parses_seeds(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig10", "--seeds", "0", "1", "2"]
+        )
+        assert args.seeds == [0, 1, 2]
+
+    def test_cache_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "bogus"])
+
 
 class TestCommands:
     def test_list_exits_zero(self, capsys):
@@ -49,6 +74,36 @@ class TestCommands:
         assert main(["case", "c16", "--system", "overload"]) == 0
         out = capsys.readouterr().out
         assert "norm_tput" in out
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:       0" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0" in out
+
+    @pytest.mark.slow
+    def test_run_reports_campaign_stats_on_stderr(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["run", "fig10", "--cache-dir", cache_dir, "--jobs", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Fig 10a" in captured.out
+        assert "[campaign]" in captured.err
+        assert "[campaign]" not in captured.out
+
+    @pytest.mark.slow
+    def test_run_cached_rerun_is_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig10", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr()
+        assert main(["run", "fig10", "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "misses=0" in warm.err
 
 
 class TestReporting:
