@@ -8,6 +8,9 @@ Usage::
     python -m repro sweep fig10 --seeds 0 1 2 [--jobs N]
     python -m repro case c5 [--system atropos] [--seed N]
     python -m repro trace fig3 --out trace.json [--util util.csv]
+    python -m repro faults list
+    python -m repro faults run --plan lossy-initiator [--case c1] [--system atropos]
+    python -m repro faults matrix [--full] [--jobs N]
     python -m repro cache stats
     python -m repro cache clear
 
@@ -219,6 +222,80 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .faults import FAULT_KINDS, named_plans, resolve_plan
+
+    if args.faults_command == "list":
+        print("Fault kinds (see docs/RESILIENCE.md for the schema):")
+        for kind, (required, optional, description) in sorted(
+            FAULT_KINDS.items()
+        ):
+            params = list(required) + [
+                f"{name}={default!r}" for name, default in sorted(
+                    optional.items()
+                )
+            ]
+            rendered = ", ".join(params) if params else "-"
+            print(f"  {kind:<16} params: {rendered}")
+            print(f"  {'':<16} {description}")
+        print("\nNamed plans (use with `repro faults run --plan <name>`):")
+        for name, plan in sorted(named_plans().items()):
+            print(f"  {name:<20} {plan.describe()}")
+        return 0
+
+    if args.faults_command == "run":
+        from .experiments.case_family import case_spec
+
+        try:
+            plan = resolve_plan(args.plan)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        spec = case_spec(
+            "faults-cli", args.case, seed=args.seed,
+            system=args.system, faults=plan,
+        )
+        with _campaign_settings(args):
+            outcome = campaign.execute([spec])[0]
+        s = outcome.summary
+        print(
+            f"case={args.case} system={args.system} seed={args.seed} "
+            f"plan={args.plan}"
+        )
+        print(f"plan: {plan.describe()}")
+        print(
+            f"tput={s.throughput:.1f}/s  p99={s.p99_latency * 1000:.1f}ms  "
+            f"drop_rate={s.drop_rate:.4f}  cancels={outcome.cancels}  "
+            f"signals_dropped={outcome.extras['cancel_signals_dropped']}"
+        )
+        print("\nFault log:")
+        for event in outcome.extras.get("fault_events", []):
+            marker = "applied" if event["applied"] else "no-op"
+            print(
+                f"  t={event['time']:7.3f}s  {event['phase']:<7} "
+                f"{event['kind']:<16} [{marker}] {event['detail']}"
+            )
+        cancelled = outcome.extras.get("cancelled_ops", [])
+        if cancelled:
+            print(f"\nCancelled operations: {', '.join(cancelled)}")
+        _print_campaign_stats()
+        return 0
+
+    # matrix
+    from .experiments.resilience import run as run_resilience
+
+    with _campaign_settings(args):
+        result = run_resilience(
+            quick=not args.full,
+            case_ids=args.cases,
+            kinds=args.kinds,
+            seed=args.seed,
+        )
+    print(result.format())
+    _print_campaign_stats()
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .campaign.store import ResultStore, default_cache_dir
 
@@ -317,6 +394,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every run of the sweep (default: first run only)",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault injection: list kinds, run a plan, chaos matrix"
+    )
+    f_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+
+    f_list = f_sub.add_parser(
+        "list", help="list fault kinds and named plans"
+    )
+    f_list.set_defaults(func=cmd_faults)
+
+    f_run = f_sub.add_parser(
+        "run", help="run one case with a fault plan injected"
+    )
+    f_run.add_argument(
+        "--plan", required=True, metavar="NAME|FILE",
+        help="named plan (see `faults list`) or a FaultPlan JSON file",
+    )
+    f_run.add_argument("--case", default="c1", help="case id (default c1)")
+    f_run.add_argument(
+        "--system", default="atropos",
+        choices=["overload", "atropos", "protego", "pbox", "darc",
+                 "parties", "seda", "breakwater"],
+    )
+    f_run.add_argument("--seed", type=int, default=0)
+    _add_campaign_flags(f_run)
+    f_run.set_defaults(func=cmd_faults)
+
+    f_matrix = f_sub.add_parser(
+        "matrix", help="fault kind x intensity chaos matrix (resilience)"
+    )
+    f_matrix.add_argument("--full", action="store_true",
+                          help="more cases and both intensity tiers")
+    f_matrix.add_argument("--quick", action="store_true",
+                          help="one case, high intensity only (the default)")
+    f_matrix.add_argument("--seed", type=int, default=0)
+    f_matrix.add_argument(
+        "--cases", nargs="+", default=None, metavar="CID",
+        help="restrict to these case ids",
+    )
+    f_matrix.add_argument(
+        "--kinds", nargs="+", default=None, metavar="KIND",
+        help="restrict to these fault kinds",
+    )
+    _add_campaign_flags(f_matrix)
+    f_matrix.set_defaults(func=cmd_faults)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the result store"

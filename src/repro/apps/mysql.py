@@ -22,7 +22,7 @@ and releases for the pool; grant/wait/release for locks and queue slots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.progress import GetNextProgress
 from ..core.task import CancellableTask
@@ -132,7 +132,10 @@ class MySQL(Application):
 
         #: Scan/dump processes currently in flight; the backup handler
         #: waits for these to drain while holding all table locks (c1).
-        self._running_scans: Set = set()
+        #: Insertion-ordered dict, not a set: events hash by identity, so
+        #: set iteration order (the order backup waits on scans) would
+        #: vary across interpreter processes and break run determinism.
+        self._running_scans: Dict = {}
 
         if cfg.prewarm_hot_set:
             self.buffer_pool.acquire(HOT_SET, cfg.hot_set_pages)
@@ -293,7 +296,7 @@ class MySQL(Application):
         progress = GetNextProgress(total_rows=rows)
         task.progress_model = progress
         done = self.env.event()
-        self._running_scans.add(done)
+        self._running_scans[done] = None
         try:
             slot = yield from self.acquire_slot(
                 task, self.innodb_queue, self.r_innodb_queue, klass="heavy"
@@ -304,7 +307,7 @@ class MySQL(Application):
                 self._release_streamed_pages(task)
                 self.release_lock(task, slot, self.r_innodb_queue)
         finally:
-            self._running_scans.discard(done)
+            self._running_scans.pop(done, None)
             if not done.triggered:
                 done.succeed()
 

@@ -160,6 +160,11 @@ def _execute_one(spec: RunSpec, label: Optional[str] = None) -> Dict[str, Any]:
     build = resolve_sim(spec.family)(dict(spec.params))
     duration = spec.duration if spec.duration is not None else build.duration
     warmup = spec.warmup if spec.warmup is not None else build.warmup
+    fault_plan = None
+    if spec.faults:
+        from ..faults import FaultPlan
+
+        fault_plan = FaultPlan.from_dict(spec.faults)
     result = run_simulation(
         build.app_factory,
         build.workload_factory,
@@ -168,6 +173,7 @@ def _execute_one(spec: RunSpec, label: Optional[str] = None) -> Dict[str, Any]:
         seed=spec.seed,
         warmup=warmup,
         label=label,
+        fault_plan=fault_plan,
     )
     walltime = time.perf_counter() - started
     outcome = RunOutcome(

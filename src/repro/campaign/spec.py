@@ -9,7 +9,7 @@ Experiments enumerate their sweeps as RunSpecs and hand them to
 and a content-addressed result store.
 
 Cache identity is the SHA-256 of the *physical* run description (family
-+ params + seed + duration + warmup) plus the repro version and a
++ params + seed + duration + warmup + fault plan) plus the repro version and a
 fingerprint of the package source -- so two experiments sharing a run
 (e.g. the per-case baselines of fig9/fig10/fig12/fig13) share one cache
 entry, and any code change invalidates the whole cache rather than
@@ -29,7 +29,9 @@ from typing import Any, Dict, Iterable, List, Optional
 from ..sim.metrics import Summary
 
 #: Bump when the payload layout or extras schema changes incompatibly.
-CACHE_SCHEMA = 1
+#: 2: RunSpec grew the ``faults`` identity field (repro.faults) and
+#: extras gained cancelled_ops / cancel_signals_dropped / fault fields.
+CACHE_SCHEMA = 2
 
 #: Modules whose import populates the sim-builder registry.  Worker
 #: processes (and cold parents) import these before resolving families;
@@ -102,6 +104,9 @@ class RunSpec:
         seed: RNG seed; runs are deterministic per seed.
         duration: simulated seconds (None = family default).
         warmup: summary warm-up horizon (None = family default).
+        faults: optional :meth:`repro.faults.FaultPlan.to_dict` payload
+            injected into the run; part of the cache identity (a faulted
+            run must never share a cache entry with its clean twin).
     """
 
     experiment: str
@@ -110,9 +115,14 @@ class RunSpec:
     seed: int = 0
     duration: Optional[float] = None
     warmup: Optional[float] = None
+    faults: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _canonical_params(self.params))
+        if self.faults is not None:
+            object.__setattr__(
+                self, "faults", _canonical_params(self.faults)
+            )
 
     # ------------------------------------------------------------------
     # Serialization
@@ -125,6 +135,7 @@ class RunSpec:
             "seed": self.seed,
             "duration": self.duration,
             "warmup": self.warmup,
+            "faults": self.faults,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -139,6 +150,7 @@ class RunSpec:
             seed=data.get("seed", 0),
             duration=data.get("duration"),
             warmup=data.get("warmup"),
+            faults=data.get("faults"),
         )
 
     def cache_key(self) -> str:

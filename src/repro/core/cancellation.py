@@ -6,6 +6,21 @@ consecutive cancellations, and implements the fairness rules: each task is
 cancelled at most once, cancelled requests are retried after sustained
 resource availability (or dropped once they can no longer meet the SLO),
 and background tasks are force-retried after a bounded wait.
+
+Fault injection (:mod:`repro.faults` sets these attributes mid-run):
+
+* :attr:`CancellationManager.initiator_delay` -- seconds between the
+  cancel decision and initiator invocation (a slow kill path).  The task
+  transitions to CANCELLING immediately (so it is not double-targeted)
+  but keeps running until the delayed interrupt lands.
+* :attr:`CancellationManager.drop_probability` -- each issued signal is
+  lost in flight with this probability: :meth:`CancellationManager.cancel`
+  still returns True (the controller believes it cancelled, and the
+  cooldown applies), the event is logged with ``delivered=False``, and
+  the task stays RUNNING and cancellable so a later cycle can re-target
+  it.
+* :attr:`CancellationManager.suspended` -- while True, no task is
+  cancellable at all (``cancel()`` returns False).
 """
 
 from __future__ import annotations
@@ -23,13 +38,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class CancellationEvent:
-    """Audit record of one executed cancellation."""
+    """Audit record of one executed cancellation.
+
+    ``delivered`` is False when a fault-injected lossy initiator dropped
+    the signal in flight (the decision was made but never reached the
+    task); clean runs always record True.
+    """
 
     time: float
     task_key: object
     op_name: str
     resource: Optional[ResourceHandle]
     score: float
+    delivered: bool = True
 
 
 class CancellationManager:
@@ -53,6 +74,18 @@ class CancellationManager:
         self._initiator: CancelInitiator = default_initiator
         self._last_cancel_time: Optional[float] = None
         self.log: List[CancellationEvent] = []
+        # -- fault-injection state (set by repro.faults) ----------------
+        #: Seconds between the cancel decision and initiator invocation.
+        self.initiator_delay: float = 0.0
+        #: Probability an issued signal is lost in flight (needs fault_rng).
+        self.drop_probability: float = 0.0
+        #: While True, cancel() refuses every request (un-cancellable
+        #: stretch).
+        self.suspended: bool = False
+        #: Deterministic RNG stream used for signal drops.
+        self.fault_rng = None
+        #: Count of signals lost to the drop fault.
+        self.dropped_signals: int = 0
 
     # ------------------------------------------------------------------
     # Initiator registration (setCancelAction)
@@ -81,8 +114,19 @@ class CancellationManager:
         score: float,
         reason: str = "resource-overload",
     ) -> bool:
-        """Cancel ``task``; returns False if blocked by cooldown/state."""
+        """Cancel ``task``; returns False if blocked by cooldown/state.
+
+        Fault injection can reshape the happy path: during an
+        ``uncancellable`` window every call returns False; a lossy
+        initiator (:attr:`drop_probability`) may lose the signal after
+        the decision (returns True, logs ``delivered=False``, leaves the
+        task running); a slow initiator (:attr:`initiator_delay`) defers
+        the actual interrupt.
+        """
         if not self.config.cancellation_enabled:
+            return False
+        if self.suspended:
+            # Fault-injected un-cancellable stretch.
             return False
         if self.in_cooldown:
             return False
@@ -100,8 +144,28 @@ class CancellationManager:
             score=score,
             decided_at=self.env.now,
         )
-        task.begin_cancel(signal)
         self._last_cancel_time = self.env.now
+        if (
+            self.drop_probability > 0.0
+            and self.fault_rng is not None
+            and self.fault_rng.chance(self.drop_probability)
+        ):
+            # Signal lost in flight: the decision stands (cooldown
+            # stamped, event logged) but the task never hears it and
+            # stays cancellable for a later cycle.
+            self.dropped_signals += 1
+            self.log.append(
+                CancellationEvent(
+                    time=self.env.now,
+                    task_key=task.key,
+                    op_name=task.op_name,
+                    resource=resource,
+                    score=score,
+                    delivered=False,
+                )
+            )
+            return True
+        task.begin_cancel(signal)
         self.log.append(
             CancellationEvent(
                 time=self.env.now,
@@ -111,8 +175,24 @@ class CancellationManager:
                 score=score,
             )
         )
-        self._initiator(task, signal)
+        if self.initiator_delay > 0.0:
+            self.env.process(
+                self._delayed_initiate(task, signal, self.initiator_delay)
+            )
+        else:
+            self._initiator(task, signal)
         return True
+
+    def _delayed_initiate(self, task: CancellableTask, signal, delay: float):
+        """Process generator: invoke the initiator ``delay`` seconds late.
+
+        The task is already CANCELLING (so it is not re-targeted); if it
+        finished on its own in the meantime, the late signal is a no-op.
+        """
+        yield self.env.timeout(delay)
+        process = task.process
+        if task.alive and process is not None and process.is_alive:
+            self._initiator(task, signal)
 
     # ------------------------------------------------------------------
     # Re-execution gate (generator; driven by the workload driver)

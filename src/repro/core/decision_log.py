@@ -37,6 +37,9 @@ class DecisionKind(enum.Enum):
     CANCEL_BLOCKED = "cancel-blocked"
     #: A cancelled request's re-execution gate resolved (retry/drop).
     REEXECUTION = "reexecution"
+    #: A fault was injected into (or lifted from) the run
+    #: (:mod:`repro.faults`); correlates faults with (mis)cancellations.
+    FAULT = "fault"
 
 
 @dataclass

@@ -5,6 +5,13 @@ recent end-to-end completions; when tail latency exceeds the SLO while
 throughput stays flat, it flags *potential* overload.  The estimator then
 decides whether a specific application resource is the bottleneck
 (resource overload -> cancellation) or not (regular overload -> delegate).
+
+Fault injection: :attr:`OverloadDetector.fault_tap` (default ``None``)
+is a callable ``(now, tail_latency) -> tail_latency`` installed by
+:mod:`repro.faults` to corrupt the tail-latency signal -- noise, lag,
+bias -- before the overload condition is evaluated.  The recorded
+:class:`DetectionSample` history carries the *corrupted* value, exactly
+as a production detector would log what it believed it saw.
 """
 
 from __future__ import annotations
@@ -35,12 +42,19 @@ class DetectionSample:
 
 
 class OverloadDetector:
-    """Latency-over-SLO + flat-throughput detector."""
+    """Latency-over-SLO + flat-throughput detector.
+
+    Fault-injection hook: :attr:`fault_tap`, a callable
+    ``(now, tail_latency) -> tail_latency`` applied to the measured tail
+    before the overload condition is evaluated (``None`` = clean signal).
+    """
 
     def __init__(self, env: "Environment", config: AtroposConfig) -> None:
         self.env = env
         self.config = config
         self.window = SlidingWindow(horizon=config.detection_window)
+        #: Signal-corruption tap installed by :mod:`repro.faults`.
+        self.fault_tap = None
         #: (time, throughput) samples for growth comparison over the full
         #: detection window -- adjacent-period comparison is too noisy and
         #: reads a flushing backlog as "growing" traffic.
@@ -81,6 +95,8 @@ class OverloadDetector:
         throughput = self.window.throughput(now)
         samples = self.window.count(now)
         tail = self.window.latency_percentile(now, cfg.latency_percentile)
+        if self.fault_tap is not None:
+            tail = self.fault_tap(now, tail)
 
         tail_violated = (
             samples >= cfg.min_window_samples

@@ -40,20 +40,44 @@ class Delivery:
 
 
 class Node:
-    """A named remote node that may be partitioned or crashed."""
+    """A named remote node that may be partitioned or crashed.
+
+    The two failure modes are distinct, matching their real-world
+    recovery paths: a *partition* (:meth:`partition`) is a network
+    fault that :meth:`heal` undoes; a *crash* (:meth:`crash`) takes the
+    node down until :meth:`restart`.  Healing a partition does not
+    revive a crashed node.  :attr:`reachable` is the combined view a
+    cancellation delivery sees.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.reachable = True
+        self.partitioned = False
+        self.crashed = False
+
+    @property
+    def reachable(self) -> bool:
+        return not self.partitioned and not self.crashed
 
     def partition(self) -> None:
-        self.reachable = False
+        self.partitioned = True
 
     def heal(self) -> None:
-        self.reachable = True
+        self.partitioned = False
+
+    def crash(self) -> None:
+        self.crashed = True
+
+    def restart(self) -> None:
+        self.crashed = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "up" if self.reachable else "partitioned"
+        if self.crashed:
+            state = "crashed"
+        elif self.partitioned:
+            state = "partitioned"
+        else:
+            state = "up"
         return f"<Node {self.name} {state}>"
 
 
@@ -125,7 +149,7 @@ class TaskTree:
         if not node.reachable:
             return Delivery(
                 task=task, node=node.name, delivered=False, at=now,
-                reason="node-unreachable",
+                reason="node-crashed" if node.crashed else "node-unreachable",
             )
         if not task.alive:
             return Delivery(

@@ -12,6 +12,14 @@ Two unit-less metrics characterize overload:
   cancelling the task: current usage scaled by the remaining-workload
   factor ``(1 - prog) / prog`` under the proportional-demand model, with
   progress from the GetNext model.
+
+Fault injection: :attr:`Estimator.gain_tap` (default ``None``) is a
+callable ``(now, gain) -> gain`` installed by :mod:`repro.faults` to
+corrupt each per-(task, resource) gain before :meth:`Estimator.assess`
+hands it to the policy engine -- modelling a tracing layer whose usage
+ledger has drifted (lost events, stale progress).  Contention levels are
+left clean: the paper derives them from coarse counters that are much
+harder to corrupt than per-task attribution.
 """
 
 from __future__ import annotations
@@ -96,7 +104,12 @@ class OverloadAssessment:
 
 
 class Estimator:
-    """Computes contention levels and per-task resource gains."""
+    """Computes contention levels and per-task resource gains.
+
+    Fault-injection hook: :attr:`gain_tap`, a callable
+    ``(now, gain) -> gain`` applied to every per-(task, resource) gain
+    inside :meth:`assess` (``None`` = clean gains).
+    """
 
     def __init__(
         self,
@@ -107,6 +120,8 @@ class Estimator:
         self.env = env
         self.runtime = runtime
         self.config = config
+        #: Gain-corruption tap installed by :mod:`repro.faults`.
+        self.gain_tap = None
 
     # ------------------------------------------------------------------
     # Contention level
@@ -232,6 +247,8 @@ class Estimator:
                     gain = self.resource_gain(task, resource)
                 else:
                     gain = self.current_usage(task, resource)
+                if self.gain_tap is not None:
+                    gain = self.gain_tap(self.env.now, gain)
                 if gain > 0.0:
                     report.gains[resource] = gain
             task_reports.append(report)

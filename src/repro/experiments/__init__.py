@@ -16,6 +16,11 @@ table1    cancellation-support survey
 table2    reproduced case inventory
 table3    integration effort
 ========  ====================================================
+
+Beyond the paper's artifacts, ``resilience`` runs the chaos matrix
+(fault kind x intensity via :mod:`repro.faults`); it is opt-in --
+``repro faults matrix`` or ``repro run resilience`` -- and not part of
+the default ``repro run`` order.
 """
 
 from importlib import import_module
@@ -39,6 +44,7 @@ _EXPERIMENT_RUNNERS = {
     "table1": ("table_experiments", "run_table1"),
     "table2": ("table_experiments", "run_table2"),
     "table3": ("table_experiments", "run_table3"),
+    "resilience": ("resilience", "run"),
 }
 
 

@@ -97,11 +97,15 @@ def build_case(params: Dict[str, Any]) -> SimBuild:
     )
 
 
-def case_spec(experiment: str, case_id: str, seed: int = 0, **params) -> "RunSpec":
+def case_spec(
+    experiment: str, case_id: str, seed: int = 0, faults=None, **params
+) -> "RunSpec":
     """Convenience constructor for ``case`` RunSpecs.
 
     Params equal to their defaults are omitted so physically identical
     runs hash identically across experiments (shared cache entries).
+    ``faults`` may be a :class:`repro.faults.FaultPlan` or its
+    ``to_dict()`` payload; empty plans are treated as no faults.
     """
     from ..campaign.spec import RunSpec
 
@@ -112,4 +116,14 @@ def case_spec(experiment: str, case_id: str, seed: int = 0, **params) -> "RunSpe
         if value is None:
             continue
         clean[key] = value
-    return RunSpec(experiment=experiment, family="case", params=clean, seed=seed)
+    if faults is not None and hasattr(faults, "to_dict"):
+        faults = faults.to_dict()
+    if faults and not faults.get("faults"):
+        faults = None
+    return RunSpec(
+        experiment=experiment,
+        family="case",
+        params=clean,
+        seed=seed,
+        faults=faults,
+    )

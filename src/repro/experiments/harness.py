@@ -44,6 +44,9 @@ class RunResult:
     duration: float
     #: Warm-up horizon used for the summary (0 = nothing trimmed).
     warmup: float = 0.0
+    #: The :class:`repro.faults.FaultInjector` armed for this run, with
+    #: its per-fault event log; None for clean (unfaulted) runs.
+    faults: Optional[object] = None
 
     @property
     def throughput(self) -> float:
@@ -106,6 +109,7 @@ def run_simulation(
     seed: int = 0,
     warmup: float = 0.0,
     label: Optional[str] = None,
+    fault_plan: Optional[object] = None,
 ) -> RunResult:
     """Run one simulation to completion and summarize.
 
@@ -120,6 +124,12 @@ def run_simulation(
             the summary (cold-cache transient).
         label: trace-run label when a tracing session is active (see
             :func:`repro.obs.tracing`); defaults to a sequence number.
+        fault_plan: optional :class:`repro.faults.FaultPlan`; when given
+            (and non-empty) a :class:`~repro.faults.FaultInjector` is
+            armed against the assembled run and exposed as
+            :attr:`RunResult.faults`.  Fault randomness draws from a
+            dedicated ``faults`` fork of the run seed, so faulted runs
+            are as deterministic as clean ones.
 
     When a tracer is active (``repro.obs.tracing``), this run becomes
     one Chrome-trace process in it: the kernel, resources, driver, and
@@ -143,6 +153,12 @@ def run_simulation(
     driver = Driver(env, app, controller, collector)
     workload = workload_factory(app, rng)
     driver.run_workload(workload)
+    injector = None
+    if fault_plan is not None and len(fault_plan) > 0:
+        from ..faults import FaultInjector
+
+        injector = FaultInjector(env, fault_plan, rng.fork("faults"))
+        injector.arm(app=app, controller=controller, driver=driver)
     env.run(until=duration)
     env.tracer.close_open_spans(env.now)
 
@@ -156,6 +172,7 @@ def run_simulation(
         driver=driver,
         duration=duration,
         warmup=warmup,
+        faults=injector,
     )
 
 
@@ -242,6 +259,12 @@ def extract_extras(result: RunResult) -> Dict[str, Any]:
     cancellation = getattr(controller, "cancellation", None)
     log = getattr(cancellation, "log", None)
     extras["first_cancelled_op"] = log[0].op_name if log else None
+    extras["cancelled_ops"] = [
+        e.op_name for e in (log or []) if getattr(e, "delivered", True)
+    ]
+    extras["cancel_signals_dropped"] = int(
+        getattr(cancellation, "dropped_signals", 0)
+    )
     ops: Dict[str, Any] = {}
     for record in result.trimmed_collector.records:
         if not record.completed:
@@ -252,4 +275,16 @@ def extract_extras(result: RunResult) -> Dict[str, Any]:
         entry["n"] += 1
         entry["latency_sum"] += record.latency
     extras["ops"] = {name: ops[name] for name in sorted(ops)}
+    if result.faults is not None:
+        extras["fault_events"] = [
+            event.to_dict() for event in result.faults.events
+        ]
+        extras["timeline"] = [
+            [
+                round(end, 9),
+                round(tput, 9),
+                None if p99 != p99 else round(p99, 9),
+            ]
+            for end, tput, p99 in result.timeline(0.5)
+        ]
     return extras

@@ -1,0 +1,229 @@
+"""Chaos matrix: ATROPOS vs baselines under injected faults (beyond the paper).
+
+The paper's evaluation (§5) runs every case on healthy infrastructure;
+its threats-to-validity discussion (§6) asks what happens when the
+controller's assumptions break -- noisy signals, failed cancellations,
+degraded substrates, load spikes.  This experiment answers empirically:
+it sweeps a fault-kind x intensity grid (:mod:`repro.faults`) over the
+reproduced cases for Overload (uncontrolled), ATROPOS, and Protego, and
+reports
+
+``norm_tput`` / ``norm_p99``
+    Throughput and p99 of the faulted run normalized to the same
+    system's *clean* run of the same case/seed (1.0 = fault had no
+    effect).
+``wrong_rate``
+    Fraction of delivered cancellations whose operation is **not** one
+    of the case's culprit operations -- the targeting-error rate under
+    corrupted inputs (0 when nothing was cancelled).
+``recovery_s``
+    Seconds after the last fault lifts until p99 (0.5 s windows) is
+    back within 1.2x the case SLO; ``inf`` if the run never recovers
+    inside the horizon.
+
+The grid goes through :func:`repro.campaign.execute`, so it caches,
+parallelizes, and is byte-deterministic per seed like every other
+experiment.  Regenerate with ``repro faults matrix`` (see
+``docs/RESILIENCE.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..campaign import execute
+from ..faults import (
+    FaultPlan,
+    burst,
+    cancel_delay,
+    cancel_drop,
+    crash,
+    degrade,
+    detector_noise,
+    estimator_noise,
+    partition,
+    uncancellable,
+)
+from .case_family import case_spec
+from .harness import normalize
+from .tables import ExperimentResult, ExperimentTable
+
+#: Fault window shared by the whole grid: starts after warm-up, inside
+#: every case's overload phase, and lifts well before the run ends so
+#: recovery is observable.
+FAULT_AT = 4.0
+FAULT_DURATION = 4.0
+
+#: The resource each case's ``degrade`` fault targets (dotted suffix of
+#: the app resource name; the culprit-adjacent resource of the case).
+DEGRADE_TARGETS: Dict[str, str] = {
+    "c1": "buffer_pool",
+    "c5": "buffer_pool",
+    "c8": "disk",
+    "c13": "heap",
+}
+
+QUICK_CASES = ["c1"]
+FULL_CASES = ["c1", "c5", "c8"]
+SYSTEMS = ["overload", "atropos", "protego"]
+QUICK_KINDS = [
+    "degrade",
+    "detector-noise",
+    "estimator-noise",
+    "cancel-delay",
+    "cancel-drop",
+    "uncancellable",
+    "burst",
+    "partition",
+]
+FULL_KINDS = QUICK_KINDS + ["crash"]
+
+#: intensity tier -> per-kind fault parameters.
+INTENSITIES: Dict[str, Dict[str, dict]] = {
+    "low": {
+        "degrade": {"factor": 0.75},
+        "detector-noise": {"noise": 0.2},
+        "estimator-noise": {"noise": 0.2},
+        "cancel-delay": {"delay": 0.1},
+        "cancel-drop": {"probability": 0.25},
+        "uncancellable": {},
+        "burst": {"factor": 1.5},
+        "partition": {},
+        "crash": {},
+    },
+    "high": {
+        "degrade": {"factor": 0.5},
+        "detector-noise": {"noise": 0.5},
+        "estimator-noise": {"noise": 0.5},
+        "cancel-delay": {"delay": 0.5},
+        "cancel-drop": {"probability": 0.75},
+        "uncancellable": {},
+        "burst": {"factor": 2.5},
+        "partition": {},
+        "crash": {},
+    },
+}
+
+
+def grid_plan(kind: str, case_id: str, intensity: str = "high") -> FaultPlan:
+    """The one-fault plan the matrix injects for (kind, case, tier)."""
+    params = INTENSITIES[intensity][kind]
+    window = {"at": FAULT_AT, "duration": FAULT_DURATION}
+    if kind == "degrade":
+        return FaultPlan.of(
+            degrade(DEGRADE_TARGETS.get(case_id, "buffer_pool"),
+                    params["factor"], **window)
+        )
+    if kind == "detector-noise":
+        return FaultPlan.of(detector_noise(noise=params["noise"], **window))
+    if kind == "estimator-noise":
+        return FaultPlan.of(estimator_noise(noise=params["noise"], **window))
+    if kind == "cancel-delay":
+        return FaultPlan.of(cancel_delay(params["delay"], **window))
+    if kind == "cancel-drop":
+        return FaultPlan.of(cancel_drop(params["probability"], **window))
+    if kind == "uncancellable":
+        return FaultPlan.of(uncancellable(**window))
+    if kind == "burst":
+        return FaultPlan.of(burst(params["factor"], **window))
+    if kind == "partition":
+        return FaultPlan.of(partition(**window))
+    if kind == "crash":
+        return FaultPlan.of(crash(**window))
+    raise KeyError(f"unknown grid fault kind {kind!r}")
+
+
+def _wrong_rate(outcome, culprit_ops) -> float:
+    """Fraction of delivered cancels that hit a non-culprit operation."""
+    cancelled = outcome.extras.get("cancelled_ops", [])
+    if not cancelled:
+        return 0.0
+    wrong = sum(1 for op in cancelled if op not in culprit_ops)
+    return wrong / len(cancelled)
+
+
+def _recovery_seconds(outcome, plan: FaultPlan, slo_latency: float) -> float:
+    """Time from fault lift to sustained-SLO p99, from the cached timeline."""
+    fault_end = plan.last_end()
+    target = slo_latency * 1.2
+    for end, _tput, p99 in outcome.extras.get("timeline", []):
+        if end < fault_end:
+            continue
+        if p99 is not None and p99 <= target:
+            return max(0.0, end - fault_end)
+    return float("inf")
+
+
+def run(
+    quick: bool = True,
+    case_ids: Optional[List[str]] = None,
+    kinds: Optional[List[str]] = None,
+    systems: Optional[List[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the chaos matrix; quick = one case, one intensity tier."""
+    if case_ids is None:
+        case_ids = list(QUICK_CASES if quick else FULL_CASES)
+    if kinds is None:
+        kinds = list(QUICK_KINDS if quick else FULL_KINDS)
+    if systems is None:
+        systems = list(SYSTEMS)
+    intensities = ["high"] if quick else ["low", "high"]
+
+    # Clean baselines first, then the grid, all in one campaign batch so
+    # dedupe/caching/parallelism see the whole sweep at once.
+    specs = []
+    for cid in case_ids:
+        for system in systems:
+            specs.append(case_spec("resilience", cid, seed, system=system))
+    grid = []
+    for cid in case_ids:
+        for kind in kinds:
+            for tier in intensities:
+                plan = grid_plan(kind, cid, tier)
+                for system in systems:
+                    grid.append((cid, kind, tier, system, plan))
+                    specs.append(
+                        case_spec(
+                            "resilience", cid, seed, system=system,
+                            faults=plan,
+                        )
+                    )
+    outcomes = execute(specs)
+
+    clean: Dict[tuple, object] = {}
+    idx = 0
+    for cid in case_ids:
+        for system in systems:
+            clean[(cid, system)] = outcomes[idx]
+            idx += 1
+
+    from ..cases import get_case
+
+    tiers = "high" if quick else "low/high"
+    table = ExperimentTable(
+        "Chaos matrix: faulted run vs same system's clean run "
+        f"(seed={seed}, intensity={tiers})",
+        [
+            "case", "fault", "intensity", "system",
+            "norm_tput", "norm_p99", "drop_rate",
+            "cancels", "wrong_rate", "recovery_s",
+        ],
+    )
+    for (cid, kind, tier, system, plan), outcome in zip(grid, outcomes[idx:]):
+        case = get_case(cid)
+        base = clean[(cid, system)]
+        table.add_row(
+            cid, kind, tier, system,
+            normalize(outcome.throughput, base.throughput),
+            normalize(outcome.p99_latency, base.p99_latency),
+            outcome.drop_rate,
+            outcome.cancels,
+            _wrong_rate(outcome, case.culprit_ops),
+            _recovery_seconds(outcome, plan, case.slo_latency),
+        )
+    return ExperimentResult(
+        experiment_id="resilience",
+        description="Chaos matrix: fault kind x intensity vs systems",
+        tables=[table],
+    )

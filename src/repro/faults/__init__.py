@@ -1,0 +1,70 @@
+"""Declarative fault injection for resilience experiments.
+
+``repro.faults`` answers the paper's §6 threats-to-validity questions
+empirically: how does targeted cancellation behave when its inputs lie
+(noisy detector/estimator signals), when its actuator fails (delayed,
+dropped, or suspended cancellations), when the substrate degrades
+(shrunk pools, slow disks, lost cores), or when load spikes mid-run?
+
+Two halves:
+
+* :mod:`~repro.faults.plan` -- the picklable :class:`FaultPlan` /
+  :class:`Fault` schema plus named presets.  Plans compose with
+  :class:`repro.campaign.RunSpec` (they are part of the cache identity)
+  so faulted runs cache, parallelize, and reproduce exactly like clean
+  ones.
+* :mod:`~repro.faults.injector` -- the :class:`FaultInjector` runtime
+  that schedules faults as simulation processes, applies and reverts
+  them against the live app/controller/workload, and records every
+  action in the trace and decision audit.
+
+Quickstart::
+
+    from repro.faults import FaultPlan, cancel_drop
+    from repro.experiments.case_family import case_spec
+    from repro.campaign import execute
+
+    plan = FaultPlan.of(cancel_drop(0.5, at=4.0, duration=4.0))
+    spec = case_spec("demo", "c1", faults=plan.to_dict())
+    outcome = execute([spec])[0]
+
+See ``docs/RESILIENCE.md`` for the fault model and full schema.
+"""
+
+from .injector import FaultEvent, FaultInjector, SignalTap
+from .plan import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    burst,
+    cancel_delay,
+    cancel_drop,
+    crash,
+    degrade,
+    detector_noise,
+    estimator_noise,
+    named_plans,
+    partition,
+    resolve_plan,
+    uncancellable,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "SignalTap",
+    "burst",
+    "cancel_delay",
+    "cancel_drop",
+    "crash",
+    "degrade",
+    "detector_noise",
+    "estimator_noise",
+    "named_plans",
+    "partition",
+    "resolve_plan",
+    "uncancellable",
+]

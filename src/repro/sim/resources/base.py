@@ -12,6 +12,14 @@ leaves the resource in a consistent state::
 This mirrors the safe-cancellation discipline the paper observes in real
 applications: resource acquire/release sites are exactly the cancellation
 checkpoints, and cleanup runs before the task unwinds.
+
+Fault injection: primitives that model capacity expose a
+``degrade(factor)`` / ``restore()`` pair (see :meth:`Resource.degrade`)
+through which :mod:`repro.faults` shrinks them mid-run -- worker loss,
+buffer-pool shrinkage, disk slowdowns.  Primitives without a meaningful
+capacity notion (e.g. :class:`~repro.sim.resources.lock.SyncLock`) leave
+the default implementation, which raises ``NotImplementedError``; the
+injector records such faults as not-applied instead of crashing the run.
 """
 
 from __future__ import annotations
@@ -105,6 +113,28 @@ class Resource:
 
     def _close(self, grant: Grant) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # -- fault-injection hooks ----------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Shrink this resource to ``factor`` of its nominal capacity.
+
+        Fault-injection hook (see :mod:`repro.faults`): subclasses that
+        model capacity (workers, pages, cores, bandwidth) override this
+        to apply a mid-run degradation.  Calling ``degrade`` again
+        re-degrades *from nominal* (factors do not stack);
+        :meth:`restore` returns to nominal.  The base implementation
+        raises ``NotImplementedError`` -- not every primitive has a
+        meaningful capacity to lose.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support degrade()"
+        )
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`, returning to nominal capacity."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support restore()"
+        )
 
     # -- tracing helpers ----------------------------------------------
     @property

@@ -26,6 +26,10 @@ class CPU:
     Traced events: one async span per :meth:`execute` call (slice-level
     queueing is internal machinery and stays untraced) plus a run-queue
     depth counter sampled at execute boundaries.
+
+    Fault-injection hooks: :meth:`degrade` offlines cores mid-run
+    (slices already running finish; at least one core survives);
+    :meth:`restore` brings them back.
     """
 
     def __init__(
@@ -38,6 +42,9 @@ class CPU:
         self.env = env
         self.name = name
         self.cores = cores
+        #: Nominal core count; :meth:`degrade`/:meth:`restore` move
+        #: :attr:`cores` relative to this.
+        self.nominal_cores = cores
         self.slice_time = slice_time
         self._pool = ThreadPool(env, f"{name}.cores", cores, traced=False)
         self._tracer = env.tracer
@@ -55,6 +62,23 @@ class CPU:
 
     def consumed(self, owner: Any) -> float:
         return self.usage.get(owner, 0.0)
+
+    # ------------------------------------------------------------------
+    # Fault injection (core loss)
+    # ------------------------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Fault-injection hook: offline cores down to ``factor`` of
+        nominal (at least one survives).  Slices already on a core run
+        to completion; queued slices wait for the surviving cores."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        self.cores = max(1, int(round(self.nominal_cores * factor)))
+        self._pool.resize(self.cores)
+
+    def restore(self) -> None:
+        """Bring offlined cores back; queued slices dispatch immediately."""
+        self.cores = self.nominal_cores
+        self._pool.resize(self.cores)
 
     def execute(self, owner: Any, cpu_time: float) -> Generator[Event, Any, None]:
         """Process generator: burn ``cpu_time`` seconds of CPU, time-sliced.

@@ -22,6 +22,11 @@ class DiskIO:
     Traced events: one async span per I/O operation (device-queue slot
     management is internal and stays untraced) plus a queue-depth
     counter sampled at op boundaries.
+
+    Fault-injection hooks: :meth:`degrade` divides bandwidth and
+    multiplies per-op latency by ``1 / factor`` mid-run (a failing or
+    throttled device); :meth:`restore` returns to nominal.  In-flight
+    operations keep the service time computed at issue.
     """
 
     def __init__(
@@ -38,6 +43,10 @@ class DiskIO:
         self.name = name
         self.bandwidth = bandwidth_bytes_per_sec
         self.op_latency = op_latency
+        #: Nominal device parameters; :meth:`degrade`/:meth:`restore`
+        #: move :attr:`bandwidth` / :attr:`op_latency` relative to these.
+        self.nominal_bandwidth = bandwidth_bytes_per_sec
+        self.nominal_op_latency = op_latency
         self._pool = ThreadPool(env, f"{name}.queue", queue_depth, traced=False)
         self._tracer = env.tracer
         #: owner -> cumulative bytes transferred.
@@ -59,6 +68,23 @@ class DiskIO:
 
     def transferred(self, owner: Any) -> float:
         return self.bytes_by_owner.get(owner, 0.0)
+
+    # ------------------------------------------------------------------
+    # Fault injection (device slowdown)
+    # ------------------------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Fault-injection hook: run at ``factor`` of nominal speed --
+        bandwidth scales down by ``factor``, per-op latency up by
+        ``1 / factor``.  Applies to operations issued from now on."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        self.bandwidth = self.nominal_bandwidth * factor
+        self.op_latency = self.nominal_op_latency / factor
+
+    def restore(self) -> None:
+        """Return the device to nominal bandwidth and latency."""
+        self.bandwidth = self.nominal_bandwidth
+        self.op_latency = self.nominal_op_latency
 
     def _service_time(self, nbytes: float) -> float:
         return self.op_latency + nbytes / self.bandwidth

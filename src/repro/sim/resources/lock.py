@@ -2,6 +2,13 @@
 
 Models application synchronization resources: table locks, metadata locks,
 undo-log latches, WAL insert locks, document locks, index locks, ...
+
+Fault injection: a lock has no capacity to shrink, so it implements no
+``degrade()`` hook (the base :class:`~repro.sim.resources.base.Resource`
+default raises, and :mod:`repro.faults` records a ``degrade`` fault
+targeting a lock as not-applied).  Lock *contention* faults are modelled
+upstream instead -- workload bursts and resource degradation elsewhere
+lengthen hold times and form convoys here.
 """
 
 from __future__ import annotations

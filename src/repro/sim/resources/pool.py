@@ -50,6 +50,10 @@ class MemoryPool(Resource):
     Traced events: an instant per acquisition that forced evictions
     (with the victim breakdown) and an occupancy/free-pages counter at
     every acquire/release.
+
+    Fault-injection hooks: :meth:`degrade` shrinks
+    :attr:`capacity_pages` mid-run (evicting overflow immediately, per
+    the active eviction strategy); :meth:`restore` returns to nominal.
     """
 
     trace_cat = "mem"
@@ -80,6 +84,9 @@ class MemoryPool(Resource):
         if eviction not in ("lru", "proportional"):
             raise ValueError(f"unknown eviction strategy {eviction!r}")
         self.capacity_pages = capacity_pages
+        #: Nominal capacity; :meth:`degrade`/:meth:`restore` move
+        #: :attr:`capacity_pages` relative to this.
+        self.nominal_capacity_pages = capacity_pages
         self.evict_page_cost = evict_page_cost
         self.eviction = eviction
         #: owner -> resident page count, in LRU order (oldest first).
@@ -108,6 +115,40 @@ class MemoryPool(Resource):
 
     def occupancy(self) -> float:
         return self.used_pages / self.capacity_pages
+
+    # ------------------------------------------------------------------
+    # Fault injection (capacity loss)
+    # ------------------------------------------------------------------
+    def set_capacity(self, capacity_pages: int) -> int:
+        """Resize the pool (fault injection / elasticity); returns the
+        number of pages evicted to fit the new capacity.
+
+        Shrinking below current occupancy evicts the overflow
+        immediately using the pool's eviction strategy (no owner is
+        protected -- a hardware-level capacity loss does not honor
+        pinning).
+        """
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        self.capacity_pages = capacity_pages
+        overflow = self.used_pages - capacity_pages
+        evicted = 0
+        if overflow > 0:
+            evicted = self._evict(overflow, requester=None, protected=())
+            if self._tracer.enabled:
+                self._trace_depths(used=self.used_pages, free=self.free_pages)
+        return evicted
+
+    def degrade(self, factor: float) -> None:
+        """Fault-injection hook: shrink to ``factor`` of nominal
+        capacity (at least one page survives); see :meth:`set_capacity`."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        self.set_capacity(max(1, int(round(self.nominal_capacity_pages * factor))))
+
+    def restore(self) -> None:
+        """Return to nominal capacity (evicted pages re-fault lazily)."""
+        self.set_capacity(self.nominal_capacity_pages)
 
     # ------------------------------------------------------------------
     # Acquire / release

@@ -35,7 +35,12 @@ class QueueFull(Exception):
 
 
 class ThreadPool(Resource):
-    """Fixed worker pool with FIFO admission queue and class reservations."""
+    """Fixed worker pool with FIFO admission queue and class reservations.
+
+    Fault-injection hooks: :meth:`resize` / :meth:`degrade` /
+    :meth:`restore` shrink or regrow the live worker count mid-run
+    (running grants are never preempted).
+    """
 
     trace_cat = "tpool"
 
@@ -63,6 +68,9 @@ class ThreadPool(Resource):
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.workers = workers
+        #: Nominal worker count; :meth:`degrade`/:meth:`restore` move
+        #: :attr:`workers` relative to this.
+        self.nominal_workers = workers
         self.queue_capacity = queue_capacity
         self._running: List[SlotGrant] = []
         self._waiters: Deque[SlotGrant] = deque()
@@ -99,6 +107,35 @@ class ThreadPool(Resource):
     def clear_reservations(self) -> None:
         self._reservations.clear()
         self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Fault injection (worker loss)
+    # ------------------------------------------------------------------
+    def resize(self, workers: int) -> None:
+        """Set the live worker count (fault injection / elasticity).
+
+        Shrinking never preempts: grants already running keep their
+        slots until release, and no new grant starts while the active
+        count is at or above the new size.  Growing dispatches queued
+        grants immediately.  Reservations are left untouched; a shrink
+        below the reserved total just means reservations cannot all be
+        honored until the pool is restored.
+        """
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self._dispatch()
+
+    def degrade(self, factor: float) -> None:
+        """Fault-injection hook: lose workers down to ``factor`` of
+        nominal (at least one survives); see :meth:`resize`."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        self.resize(max(1, int(round(self.nominal_workers * factor))))
+
+    def restore(self) -> None:
+        """Return to the nominal worker count, dispatching any backlog."""
+        self.resize(self.nominal_workers)
 
     # ------------------------------------------------------------------
     # Introspection

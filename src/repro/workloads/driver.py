@@ -43,6 +43,9 @@ class Driver:
         self._tracer = env.tracer
         #: Requests currently in flight (for diagnostics).
         self.inflight = 0
+        #: The workload started via :meth:`run_workload` (exposed so
+        #: :mod:`repro.faults` can reach its arrival sources mid-run).
+        self.workload: Optional[Workload] = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -61,6 +64,7 @@ class Driver:
 
     def run_workload(self, workload: Workload) -> None:
         """Start all of a workload's arrival processes."""
+        self.workload = workload
         for generator in workload.processes(self):
             self.env.process(generator)
 

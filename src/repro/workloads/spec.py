@@ -34,7 +34,13 @@ class MixEntry:
 
 @dataclass
 class OpenLoopSource:
-    """Poisson arrivals of a weighted operation mix."""
+    """Poisson arrivals of a weighted operation mix.
+
+    ``burst_factor`` is a live multiplier on :attr:`rate`, re-read at
+    every arrival: :mod:`repro.faults` raises it during a ``burst``
+    fault window and restores it afterwards, giving mid-run
+    arrival-rate spikes without rebuilding the workload.
+    """
 
     rate: float  # arrivals per second
     mix: List[MixEntry]
@@ -42,6 +48,8 @@ class OpenLoopSource:
     start_time: float = 0.0
     stop_time: Optional[float] = None
     rng_stream: str = "arrivals"
+    #: Live arrival-rate multiplier (fault-injection hook).
+    burst_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -56,7 +64,9 @@ class OpenLoopSource:
         if self.start_time > 0:
             yield env.timeout(self.start_time)
         while self.stop_time is None or env.now < self.stop_time:
-            yield env.timeout(rng.exponential(1.0 / self.rate))
+            yield env.timeout(
+                rng.exponential(1.0 / (self.rate * self.burst_factor))
+            )
             if self.stop_time is not None and env.now >= self.stop_time:
                 break
             entry = rng.weighted_choice(self.mix, weights)

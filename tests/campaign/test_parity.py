@@ -38,3 +38,58 @@ class TestCampaignParity:
         assert warm_stats.misses == 0
         assert warm_stats.hit_rate == 1.0
         assert warm_stats.runs == parallel_stats.runs
+
+
+def _run_faulted(jobs, cache_dir):
+    """A faulted + clean pair of the same case/seed through execute()."""
+    import json
+
+    from repro.campaign import execute
+    from repro.experiments.case_family import case_spec
+    from repro.faults import FaultPlan, burst, cancel_drop
+
+    plan = FaultPlan.of(
+        cancel_drop(0.5, at=2.0, duration=6.0),
+        burst(1.5, at=4.0, duration=2.0),
+    )
+    specs = [
+        case_spec("parity", "c1", seed=0, system="atropos"),
+        case_spec("parity", "c1", seed=0, system="atropos", faults=plan),
+    ]
+    reset_session_stats()
+    with settings(jobs=jobs, cache=True, cache_dir=cache_dir):
+        outcomes = execute(specs)
+    payloads = []
+    for outcome in outcomes:
+        payload = outcome.to_payload()
+        # Only walltime/worker may differ between modes: they describe
+        # the execution, not the simulation.
+        payload.pop("walltime")
+        payload.pop("worker")
+        payloads.append(payload)
+    rendered = json.dumps(payloads, sort_keys=True)
+    return rendered, outcomes, session_stats()
+
+
+class TestFaultedParity:
+    def test_faulted_runs_cache_and_parallelize_identically(self, tmp_path):
+        serial, outcomes, serial_stats = _run_faulted(1, tmp_path / "serial")
+        assert serial_stats.hits == 0
+        clean, faulted = outcomes
+        # The fault plan forks the cache identity: clean and faulted runs
+        # of the same case/seed never share an entry or a result.
+        assert clean.spec.cache_key() != faulted.spec.cache_key()
+        assert clean.summary != faulted.summary
+        assert faulted.extras["fault_events"]
+
+        parallel, _, parallel_stats = _run_faulted(4, tmp_path / "parallel")
+        assert parallel_stats.hits == 0
+        assert parallel == serial
+
+        warm, warm_outcomes, warm_stats = _run_faulted(
+            4, tmp_path / "parallel"
+        )
+        assert warm == serial
+        assert warm_stats.misses == 0
+        assert warm_stats.hit_rate == 1.0
+        assert all(o.cache_hit for o in warm_outcomes)

@@ -1,0 +1,185 @@
+"""Failure-path tests for distributed cancellation (partition vs crash).
+
+Complements test_distributed.py, which covers the happy paths: here we
+pin down what happens when children sit on partitioned or crashed nodes
+-- missed signals, per-mode delivery reasons, and retry semantics after
+heal/restart.
+"""
+
+import pytest
+
+from repro.core import BaseController, CancelSignal
+from repro.core.distributed import Node, TaskTree
+from repro.sim import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def controller(env):
+    return BaseController(env)
+
+
+def spawn(env, controller, name, log):
+    holder = {}
+
+    def body(env):
+        task = controller.create_cancel(op_name=name)
+        holder["task"] = task
+        try:
+            yield env.timeout(1000.0)
+        except Interrupt as exc:
+            log.append((name, env.now, exc.cause.reason))
+        finally:
+            controller.free_cancel(task)
+
+    env.process(body(env))
+    env.run(until=env.now + 1e-6)
+    return holder["task"]
+
+
+def run_gen(env, generator, horizon=1.0):
+    result = {}
+
+    def driver(env):
+        result["value"] = yield from generator
+
+    env.process(driver(env))
+    env.run(until=env.now + horizon)
+    return result["value"]
+
+
+def build_tree(env, controller, log, node):
+    root = spawn(env, controller, "root", log)
+    tree = TaskTree(env, root)
+    child = spawn(env, controller, "child", log)
+    tree.add_child(child, node)
+    return tree, child
+
+
+# ----------------------------------------------------------------------
+# Failure modes and delivery reasons
+# ----------------------------------------------------------------------
+
+def test_partitioned_child_misses_signal(env, controller):
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.partition()
+
+    deliveries = run_gen(env, tree.cancel_all())
+    failed = [d for d in deliveries if not d.delivered]
+    assert [d.reason for d in failed] == ["node-unreachable"]
+    assert child.alive  # the signal never arrived
+    assert ("child", *()) not in [(n,) for n, _, _ in log]
+
+
+def test_crashed_child_reports_crash_reason(env, controller):
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.crash()
+
+    deliveries = run_gen(env, tree.cancel_all())
+    failed = [d for d in deliveries if not d.delivered]
+    assert [d.reason for d in failed] == ["node-crashed"]
+    assert child.alive
+
+
+def test_heal_does_not_revive_crashed_node():
+    node = Node("remote")
+    node.partition()
+    node.crash()
+    node.heal()
+    assert not node.reachable
+    node.restart()
+    assert node.reachable
+
+
+def test_crash_wins_over_partition_in_reason(env, controller):
+    log = []
+    node = Node("remote")
+    tree, _child = build_tree(env, controller, log, node)
+    node.partition()
+    node.crash()
+
+    deliveries = run_gen(env, tree.cancel_all())
+    failed = [d for d in deliveries if not d.delivered]
+    assert failed[0].reason == "node-crashed"
+
+
+# ----------------------------------------------------------------------
+# Retry semantics
+# ----------------------------------------------------------------------
+
+def test_retry_after_heal_delivers(env, controller):
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.partition()
+
+    run_gen(env, tree.cancel_all())
+    assert tree.undelivered()
+    assert child.alive
+
+    node.heal()
+    retried = run_gen(env, tree.retry_undelivered())
+    assert [d.delivered for d in retried] == [True]
+    env.run(until=env.now + 0.1)
+    assert not child.alive
+    assert tree.fully_cancelled()
+
+
+def test_retry_after_restart_delivers(env, controller):
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.crash()
+
+    run_gen(env, tree.cancel_all())
+    assert [d.reason for d in tree.undelivered()] == ["node-crashed"]
+
+    node.restart()
+    retried = run_gen(env, tree.retry_undelivered())
+    assert retried and all(d.delivered for d in retried)
+    env.run(until=env.now + 0.1)
+    assert not child.alive
+
+
+def test_retry_while_still_down_fails_again(env, controller):
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.partition()
+
+    run_gen(env, tree.cancel_all())
+    retried = run_gen(env, tree.retry_undelivered())
+    assert retried and not any(d.delivered for d in retried)
+    assert child.alive
+    # Both attempts are on the permanent delivery record.
+    failures = [d for d in tree.deliveries if not d.delivered]
+    assert len(failures) == 2
+
+
+def test_undelivered_skips_tasks_that_finished_anyway(env, controller):
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.partition()
+    run_gen(env, tree.cancel_all())
+    assert tree.undelivered()
+
+    # The child finishes on its own (completes or times out remotely):
+    # nothing is left to retry even though the node is still down.
+    signal = CancelSignal(reason="external", decided_at=env.now)
+    child.begin_cancel(signal)
+    if child.process is not None and child.process.is_alive:
+        child.process.interrupt(signal)
+    env.run(until=env.now + 0.1)
+    assert not child.alive
+    assert tree.undelivered() == []
+    retried = run_gen(env, tree.retry_undelivered())
+    assert retried == []

@@ -117,7 +117,7 @@ class TestHarness:
     def test_registry_covers_every_artifact(self):
         expected = {
             "fig2", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "table1", "table2", "table3",
+            "fig13", "fig14", "table1", "table2", "table3", "resilience",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -1,0 +1,73 @@
+"""Tests for the chaos-matrix experiment (resilience)."""
+
+import pytest
+
+from repro.campaign import (
+    reset_session_stats,
+    session_stats,
+    settings,
+)
+from repro.experiments.resilience import (
+    FULL_KINDS,
+    INTENSITIES,
+    QUICK_KINDS,
+    grid_plan,
+    run,
+)
+
+
+def test_grid_covers_every_kind_and_tier():
+    for kind in FULL_KINDS:
+        for tier in INTENSITIES:
+            plan = grid_plan(kind, "c1", tier)
+            assert len(plan) == 1
+            assert next(iter(plan)).kind == kind
+
+
+def test_grid_rejects_unknown_kind():
+    with pytest.raises(KeyError):
+        grid_plan("meteor-strike", "c1")
+
+
+def test_smoke_matrix_deterministic_and_cached(tmp_path):
+    """Tier-1 smoke: a 2-kind slice of the matrix, cold then warm."""
+    kwargs = dict(
+        quick=True,
+        case_ids=["c1"],
+        kinds=["cancel-drop", "burst"],
+        systems=["overload", "atropos"],
+    )
+    reset_session_stats()
+    with settings(jobs=1, cache=True, cache_dir=tmp_path):
+        cold = run(**kwargs)
+        cold_stats = session_stats()
+        warm = run(**kwargs)
+        warm_stats = session_stats()
+
+    assert cold_stats.misses > 0
+    assert warm_stats.misses == cold_stats.misses  # warm pass all hits
+    assert warm.format() == cold.format()
+
+    table = cold.table("chaos")
+    assert len(table.rows) == 4  # 2 kinds x 2 systems
+    # Graceful degradation: ATROPOS survives every fault (rows exist,
+    # finite sane metrics) with a bounded wrong-culprit rate.
+    for row in table.rows:
+        wrong_rate = row[table.columns.index("wrong_rate")]
+        assert 0.0 <= wrong_rate <= 1.0
+        norm_tput = row[table.columns.index("norm_tput")]
+        assert norm_tput == norm_tput and norm_tput > 0.0
+
+
+@pytest.mark.slow
+def test_quick_matrix_every_fault_kind(tmp_path):
+    """ATROPOS degrades gracefully under every fault kind in the grid."""
+    with settings(jobs=2, cache=True, cache_dir=tmp_path):
+        result = run(quick=True, systems=["atropos"])
+    table = result.table("chaos")
+    assert {row[1] for row in table.rows} == set(QUICK_KINDS)
+    for row in table.rows:
+        wrong_rate = row[table.columns.index("wrong_rate")]
+        assert wrong_rate <= 0.5, row  # bounded mis-targeting under faults
+        cancels = row[table.columns.index("cancels")]
+        assert cancels < 100 or row[1] in ("partition", "cancel-drop")

@@ -1,0 +1,167 @@
+"""Tests for the FaultPlan schema: validation, canonical order, round trips."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    burst,
+    cancel_drop,
+    degrade,
+    detector_noise,
+    named_plans,
+    resolve_plan,
+    uncancellable,
+)
+
+
+def sample_plan():
+    return FaultPlan.of(
+        degrade("buffer_pool", 0.5, at=4.0, duration=4.0),
+        cancel_drop(0.5, at=2.0, duration=6.0),
+        burst(2.0, at=4.0, duration=2.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault validation
+# ----------------------------------------------------------------------
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        Fault(kind="meteor-strike")
+
+
+def test_missing_required_param_rejected():
+    with pytest.raises(ValueError, match="missing params"):
+        Fault(kind="degrade", params={"resource": "buffer_pool"})
+
+
+def test_unknown_param_rejected():
+    with pytest.raises(ValueError, match="unknown param"):
+        Fault(kind="burst", params={"factor": 2.0, "color": "red"})
+
+
+def test_negative_at_rejected():
+    with pytest.raises(ValueError):
+        Fault(kind="uncancellable", at=-1.0)
+
+
+def test_nonpositive_duration_rejected():
+    with pytest.raises(ValueError):
+        Fault(kind="uncancellable", at=1.0, duration=0.0)
+
+
+def test_optional_defaults_merged():
+    fault = detector_noise(noise=0.5, at=1.0)
+    assert fault.param("bias") == 1.0
+    assert fault.param("lag") == 0.0
+
+
+def test_every_kind_has_schema_entry():
+    for kind, entry in FAULT_KINDS.items():
+        required, optional, description = entry
+        assert isinstance(description, str) and description
+        assert not set(required) & set(optional), kind
+
+
+# ----------------------------------------------------------------------
+# Plan semantics
+# ----------------------------------------------------------------------
+
+def test_plan_sorted_by_time():
+    plan = sample_plan()
+    times = [fault.at for fault in plan]
+    assert times == sorted(times)
+
+
+def test_plan_order_is_canonical():
+    a = FaultPlan.of(burst(2.0, at=4.0), uncancellable(at=1.0))
+    b = FaultPlan.of(uncancellable(at=1.0), burst(2.0, at=4.0))
+    assert a == b
+    assert a.to_dict() == b.to_dict()
+
+
+def test_last_end_covers_open_ended_faults():
+    plan = FaultPlan.of(
+        burst(2.0, at=4.0, duration=2.0), uncancellable(at=7.0)
+    )
+    assert plan.last_end() == 7.0
+    assert sample_plan().last_end() == 8.0
+
+
+def test_empty_plan():
+    plan = FaultPlan.of()
+    assert plan.is_empty
+    assert len(plan) == 0
+    assert plan.last_end() == 0.0
+    assert FaultPlan.from_dict({}) == plan
+    assert FaultPlan.from_dict(None) == plan
+
+
+def test_extended_returns_new_plan():
+    base = FaultPlan.of(burst(2.0, at=4.0))
+    extended = base.extended(uncancellable(at=1.0))
+    assert len(base) == 1
+    assert len(extended) == 2
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+def test_dict_round_trip():
+    plan = sample_plan()
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_json_round_trip():
+    plan = sample_plan()
+    blob = plan.to_json()
+    json.loads(blob)  # valid JSON
+    assert FaultPlan.from_json(blob) == plan
+
+
+def test_pickle_round_trip():
+    plan = sample_plan()
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+def test_params_canonicalized_to_json_types():
+    fault = Fault(
+        kind="degrade", params={"resource": "disk", "factor": 0.5}
+    )
+    rebuilt = Fault.from_dict(json.loads(json.dumps(fault.to_dict())))
+    assert rebuilt == fault
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+def test_named_plans_are_valid_and_described():
+    plans = named_plans()
+    assert len(plans) >= 10
+    for name, plan in plans.items():
+        assert not plan.is_empty, name
+        assert plan.describe()
+
+
+def test_resolve_plan_by_name():
+    assert resolve_plan("lossy-initiator") == named_plans()["lossy-initiator"]
+
+
+def test_resolve_plan_from_file(tmp_path):
+    plan = sample_plan()
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    assert resolve_plan(str(path)) == plan
+
+
+def test_resolve_plan_unknown():
+    with pytest.raises(KeyError):
+        resolve_plan("no-such-plan")

@@ -52,6 +52,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "bogus"])
 
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
+    def test_faults_run_requires_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "run"])
+
+    def test_faults_matrix_parses_flags(self):
+        args = build_parser().parse_args(
+            ["faults", "matrix", "--quick", "--kinds", "burst",
+             "cancel-drop", "--cases", "c1", "--jobs", "2"]
+        )
+        assert args.faults_command == "matrix"
+        assert args.kinds == ["burst", "cancel-drop"]
+        assert args.cases == ["c1"]
+        assert not args.full
+
 
 class TestCommands:
     def test_list_exits_zero(self, capsys):
@@ -83,6 +101,54 @@ class TestCommands:
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "removed 0" in out
+
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "cancel-drop" in out
+        assert "lossy-initiator" in out
+
+    def test_faults_run_unknown_plan_exits_2(self, capsys):
+        assert main(["faults", "run", "--plan", "no-such-plan"]) == 2
+
+    def test_faults_run_named_plan(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["faults", "run", "--plan", "lossy-initiator",
+             "--cache-dir", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fault log" in out
+        assert "cancel-drop" in out
+        assert "applied" in out
+
+    def test_faults_run_plan_file(self, tmp_path, capsys):
+        from repro.faults import FaultPlan, burst
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            FaultPlan.of(burst(2.0, at=4.0, duration=2.0)).to_json()
+        )
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["faults", "run", "--plan", str(plan_path),
+             "--cache-dir", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "burst" in out
+
+    @pytest.mark.slow
+    def test_faults_matrix_cached_rerun_is_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["faults", "matrix", "--quick", "--kinds", "burst",
+                "uncancellable", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "Chaos matrix" in cold.out
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "misses=0" in warm.err
 
     @pytest.mark.slow
     def test_run_reports_campaign_stats_on_stderr(self, tmp_path, capsys):

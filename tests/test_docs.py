@@ -1,0 +1,76 @@
+"""Documentation integrity: the link checker and the repo's own docs."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = load_checker()
+
+
+class TestSlugify:
+    def test_plain_heading(self):
+        assert checker.slugify("Fault model") == "fault-model"
+
+    def test_strips_formatting_and_punctuation(self):
+        assert checker.slugify("The `repro.faults` layer!") == \
+            "the-reprofaults-layer"
+
+    def test_numbers_kept(self):
+        assert checker.slugify("Section 6.2: Threats") == "section-62-threats"
+
+
+class TestChecker:
+    def test_broken_file_link_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Title\n\nsee [other](missing.md)\n")
+        errors = checker.check([str(doc)])
+        assert len(errors) == 1
+        assert "missing.md" in errors[0]
+
+    def test_broken_anchor_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Title\n\nsee [below](#no-such-heading)\n")
+        errors = checker.check([str(doc)])
+        assert len(errors) == 1
+        assert "no-such-heading" in errors[0]
+
+    def test_valid_cross_document_anchor(self, tmp_path):
+        (tmp_path / "a.md").write_text("# A\n\nsee [b](b.md#some-section)\n")
+        (tmp_path / "b.md").write_text("# B\n\n## Some section\n")
+        assert checker.check([str(tmp_path)]) == []
+
+    def test_external_links_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[x](https://example.com/404) [y](mailto:a@b.c)\n")
+        assert checker.check([str(doc)]) == []
+
+    def test_code_fences_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# T\n\n```\n[not a link](missing.md)\n# not a heading\n```\n"
+        )
+        assert checker.check([str(doc)]) == []
+
+
+class TestRepoDocs:
+    def test_repo_docs_have_no_broken_links(self):
+        errors = checker.check(checker.DEFAULT_TARGETS)
+        assert errors == [], "\n".join(errors)
+
+    def test_resilience_doc_exists_and_linked(self):
+        resilience = REPO_ROOT / "docs" / "RESILIENCE.md"
+        assert resilience.exists()
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/RESILIENCE.md" in readme

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Markdown cross-reference checker (stdlib only; used by the CI docs job).
+
+Scans the repo's documentation for ``[text](target)`` links and verifies
+
+* relative file targets exist (``docs/RESILIENCE.md``, ``src/...``),
+* intra-document and cross-document anchors (``#fault-model``) resolve
+  to a real heading, using GitHub's slugification rules.
+
+External (``http(s)://``, ``mailto:``) links are skipped -- CI must not
+depend on the network.  Exit status is the number of broken links.
+
+Usage::
+
+    python tools/check_docs.py [FILE_OR_DIR ...]   # default: repo docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Checked by default: the user-facing documentation set.
+DEFAULT_TARGETS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs",
+]
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _rel(path: Path) -> str:
+    """Repo-relative display path; absolute when outside the repo."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_markdown(paths: List[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = (REPO_ROOT / raw).resolve() if not Path(raw).is_absolute() \
+            else Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"warning: no such doc target {raw!r}", file=sys.stderr)
+    return files
+
+
+def parse(path: Path) -> Tuple[Set[str], List[Tuple[int, str]]]:
+    """Return (heading anchors, [(line_number, link_target)]) for a file."""
+    anchors: Set[str] = set()
+    seen: Dict[str, int] = {}
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = slugify(match.group(2))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            anchors.add(slug if count == 0 else f"{slug}-{count}")
+        for link in LINK_RE.finditer(line):
+            links.append((lineno, link.group(1)))
+    return anchors, links
+
+
+def check(paths: List[str]) -> List[str]:
+    files = collect_markdown(paths)
+    anchor_index: Dict[Path, Set[str]] = {}
+    link_index: Dict[Path, List[Tuple[int, str]]] = {}
+    for path in files:
+        anchor_index[path], link_index[path] = parse(path)
+
+    errors: List[str] = []
+    for path, links in link_index.items():
+        for lineno, target in links:
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            where = f"{_rel(path)}:{lineno}"
+            file_part, _, anchor = target.partition("#")
+            if not file_part:  # intra-document anchor
+                resolved = path
+            else:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{where}: broken link -> {target}")
+                    continue
+            if anchor:
+                if resolved.suffix.lower() != ".md":
+                    continue
+                if resolved not in anchor_index and resolved.exists():
+                    anchor_index[resolved], _ = parse(resolved)
+                if anchor.lower() not in anchor_index.get(resolved, set()):
+                    errors.append(
+                        f"{where}: broken anchor -> {target} "
+                        f"(no heading #{anchor} in {_rel(resolved)})"
+                    )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or DEFAULT_TARGETS
+    errors = check(targets)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(collect_markdown(targets))
+    print(f"checked {checked} markdown file(s): "
+          f"{len(errors)} broken link(s)")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
