@@ -1,0 +1,102 @@
+"""Benchmark guarding the telemetry fast path.
+
+Telemetry is pull-based: when no session is active (or a session stops
+accepting runs), the harness pays one active-session lookup and one
+branch -- the ``NullTracer`` discipline.  This bench pins that promise
+with a *deterministic* overhead measure: the number of Python function
+calls executed by the run.  Wall clock on shared CI hardware jitters by
+double-digit percent; call counts for a fixed seed do not, and any code
+sneaking work into the disabled path shows up in them immediately.
+"""
+
+import sys
+import time
+
+from repro.apps.mysql import MySQL, light_mix
+from repro.telemetry import TelemetrySession, telemetry_session
+from repro.workloads import OpenLoopSource, Workload
+
+DURATION = 5.0
+
+
+def _run_once(seed=0):
+    from repro.experiments import run_simulation
+
+    return run_simulation(
+        lambda env, ctl, rng: MySQL(env, ctl, rng),
+        lambda app, rng: Workload(
+            [OpenLoopSource(rate=200.0, mix=light_mix(rng))]
+        ),
+        duration=DURATION,
+        seed=seed,
+    )
+
+
+def _count_calls(fn):
+    """(function calls, wall seconds) for one invocation of ``fn``."""
+    calls = 0
+
+    def profiler(frame, event, arg):
+        nonlocal calls
+        if event in ("call", "c_call"):
+            calls += 1
+
+    started = time.perf_counter()
+    sys.setprofile(profiler)
+    try:
+        fn()
+    finally:
+        sys.setprofile(None)
+    return calls, time.perf_counter() - started
+
+
+def _measure():
+    _run_once()  # warm imports / code caches outside the measurements
+
+    # A session that accepts no more runs: the harness sees
+    # enabled=True, accepting_runs=False and attaches nothing.
+    saturated = TelemetrySession(interval=0.25, max_runs=0)
+
+    def run_saturated():
+        with telemetry_session(saturated):
+            _run_once()
+
+    def run_scraped():
+        session = TelemetrySession(interval=0.25)
+        with telemetry_session(session):
+            _run_once()
+
+    plain_calls, plain_s = _count_calls(_run_once)
+    disabled_calls, disabled_s = _count_calls(run_saturated)
+    scraped_calls, scraped_s = _count_calls(run_scraped)
+    return {
+        "plain_calls": plain_calls,
+        "plain_s": plain_s,
+        "disabled_calls": disabled_calls,
+        "disabled_s": disabled_s,
+        "scraped_calls": scraped_calls,
+        "scraped_s": scraped_s,
+        "disabled_overhead": disabled_calls / plain_calls - 1.0,
+        "scraping_overhead": scraped_calls / plain_calls - 1.0,
+    }
+
+
+def test_telemetry_overhead(benchmark):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(
+        f"plain {result['plain_calls']} calls "
+        f"({result['plain_s'] * 1000:.0f}ms)  "
+        f"disabled-path {result['disabled_calls']} calls "
+        f"({result['disabled_overhead'] * 100:+.3f}%)  "
+        f"scraped {result['scraped_calls']} calls "
+        f"({result['scraping_overhead'] * 100:+.3f}%)"
+    )
+    # The paper's own bar for always-on instrumentation (Fig 14) is
+    # <2% under normal load; the *disabled* telemetry path must clear
+    # it with room to spare (it should be ~0: one session lookup and
+    # one property check per run).
+    assert result["disabled_overhead"] < 0.02
+    # Active scraping reads state, it never re-simulates: bounded well
+    # below the cost of the run itself even at the 0.25s interval.
+    assert result["scraping_overhead"] < 0.25

@@ -4,10 +4,12 @@ Usage::
 
     python -m repro list
     python -m repro run fig10 [--full] [--seed N] [--jobs N] [--no-cache]
-    python -m repro all [--full] [--output FILE] [--jobs N]
+    python -m repro run fig2 --telemetry out/ [--live] [--scrape-interval S]
+    python -m repro all [--full] [--output FILE] [--jobs N] [--telemetry DIR]
     python -m repro sweep fig10 --seeds 0 1 2 [--jobs N]
     python -m repro case c5 [--system atropos] [--seed N]
     python -m repro trace fig3 --out trace.json [--util util.csv]
+    python -m repro report fig2 [--out report.html] [--live]
     python -m repro faults list
     python -m repro faults run --plan lossy-initiator [--case c1] [--system atropos]
     python -m repro faults matrix [--full] [--jobs N]
@@ -15,12 +17,14 @@ Usage::
     python -m repro cache clear
 
 Experiment output goes to **stdout**; progress and campaign statistics
-go to **stderr**, so stdout can be diffed across invocations.
+go to **stderr**, so stdout can be diffed across invocations.  The
+``--live`` dashboard and telemetry file notices also go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from . import campaign
@@ -54,6 +58,67 @@ def _campaign_settings(args):
     )
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="scrape the runs and write metrics.prom / series.jsonl / "
+        "report.html into DIR (forces serial, uncached execution)",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="print a live telemetry dashboard line per scrape to stderr",
+    )
+    parser.add_argument(
+        "--scrape-interval", type=float, default=0.25, metavar="S",
+        help="simulated seconds between telemetry scrapes (default 0.25)",
+    )
+
+
+def _telemetry_session(args):
+    """Build a TelemetrySession from CLI flags; None when not requested."""
+    if not getattr(args, "telemetry", None) and not getattr(
+        args, "live", False
+    ):
+        return None
+    from .telemetry import TelemetrySession, live_line
+
+    sink = None
+    if args.live:
+        def sink(run, window):
+            print(live_line(run, window), file=sys.stderr)
+
+    return TelemetrySession(
+        interval=getattr(args, "scrape_interval", 0.25), live_sink=sink
+    )
+
+
+@contextlib.contextmanager
+def _maybe_telemetry(session):
+    if session is None:
+        yield None
+        return
+    from .telemetry import telemetry_session
+
+    with telemetry_session(session):
+        yield session
+
+
+def _write_telemetry(session, out_dir) -> None:
+    import os
+
+    from .telemetry import write_html_report, write_jsonl, write_prometheus
+
+    os.makedirs(out_dir, exist_ok=True)
+    write_prometheus(session.runs, os.path.join(out_dir, "metrics.prom"))
+    write_jsonl(session.runs, os.path.join(out_dir, "series.jsonl"))
+    write_html_report(session.runs, os.path.join(out_dir, "report.html"))
+    print(
+        f"telemetry for {len(session.runs)} run(s) written to {out_dir} "
+        "(metrics.prom, series.jsonl, report.html)",
+        file=sys.stderr,
+    )
+
+
 def _print_campaign_stats() -> None:
     stats = campaign.session_stats()
     if stats.runs:
@@ -76,16 +141,20 @@ def cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    session = _telemetry_session(args)
     with _campaign_settings(args):
-        results = run_experiments(
-            [args.experiment],
-            quick=not args.full,
-            seed=args.seed,
-            progress=lambda i, dt: print(
-                f"[{i} done in {dt:.1f}s]", file=sys.stderr
-            ),
-        )
+        with _maybe_telemetry(session):
+            results = run_experiments(
+                [args.experiment],
+                quick=not args.full,
+                seed=args.seed,
+                progress=lambda i, dt: print(
+                    f"[{i} done in {dt:.1f}s]", file=sys.stderr
+                ),
+            )
     print(results[args.experiment].format())
+    if session is not None and args.telemetry:
+        _write_telemetry(session, args.telemetry)
     _print_campaign_stats()
     return 0
 
@@ -98,10 +167,12 @@ def cmd_all(args) -> int:
     print("Running all experiments "
           f"({'full' if args.full else 'quick'} mode)...",
           file=sys.stderr)
+    session = _telemetry_session(args)
     with _campaign_settings(args):
-        results = run_experiments(
-            quick=not args.full, seed=args.seed, progress=progress
-        )
+        with _maybe_telemetry(session):
+            results = run_experiments(
+                quick=not args.full, seed=args.seed, progress=progress
+            )
     report = render_report(results)
     if args.output:
         with open(args.output, "w") as handle:
@@ -109,6 +180,8 @@ def cmd_all(args) -> int:
         print(f"report written to {args.output}", file=sys.stderr)
     else:
         print(report)
+    if session is not None and args.telemetry:
+        _write_telemetry(session, args.telemetry)
     _print_campaign_stats()
     return 0
 
@@ -222,6 +295,47 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from .telemetry import (
+        TelemetrySession,
+        live_line,
+        telemetry_session,
+        write_html_report,
+    )
+
+    exp_id = resolve_experiment_id(args.experiment)
+    if exp_id is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    out = args.out or f"{exp_id}-report.html"
+    sink = None
+    if args.live:
+        def sink(run, window):
+            print(live_line(run, window), file=sys.stderr)
+
+    session = TelemetrySession(
+        interval=args.scrape_interval, live_sink=sink
+    )
+    # Telemetry needs in-process serial runs, like tracing: cached or
+    # worker-pool runs would leave the scrape series empty.
+    with campaign.settings(jobs=1, cache=False):
+        with telemetry_session(session):
+            results = run_experiments(
+                [exp_id], quick=not args.full, seed=args.seed
+            )
+    print(results[exp_id].format())
+    write_html_report(session.runs, out, title=f"repro telemetry: {exp_id}")
+    print(
+        f"telemetry report for {len(session.runs)} run(s) written to {out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_faults(args) -> int:
     from .faults import FAULT_KINDS, named_plans, resolve_plan
 
@@ -325,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="full sweeps instead of quick mode")
     p_run.add_argument("--seed", type=int, default=0)
     _add_campaign_flags(p_run)
+    _add_telemetry_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_all = sub.add_parser("all", help="run every experiment")
@@ -332,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--seed", type=int, default=0)
     p_all.add_argument("--output", help="write the report to a file")
     _add_campaign_flags(p_all)
+    _add_telemetry_flags(p_all)
     p_all.set_defaults(func=cmd_all)
 
     p_sweep = sub.add_parser(
@@ -394,6 +510,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every run of the sweep (default: first run only)",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="run one experiment with telemetry and render an HTML report",
+    )
+    p_report.add_argument(
+        "experiment", help="e.g. fig2 or fig2_throughput"
+    )
+    p_report.add_argument(
+        "--out", help="HTML output path (default: <experiment>-report.html)"
+    )
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--full", action="store_true",
+                          help="full sweeps instead of quick mode")
+    p_report.add_argument(
+        "--live", action="store_true",
+        help="print a live telemetry dashboard line per scrape to stderr",
+    )
+    p_report.add_argument(
+        "--scrape-interval", type=float, default=0.25, metavar="S",
+        help="simulated seconds between telemetry scrapes (default 0.25)",
+    )
+    p_report.set_defaults(func=cmd_report)
 
     p_faults = sub.add_parser(
         "faults", help="fault injection: list kinds, run a plan, chaos matrix"

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..experiments.harness import extract_extras, resolve_sim, run_simulation
 from ..obs.tracer import get_active_tracer
+from ..telemetry import get_active_telemetry
 from .spec import RunOutcome, RunSpec, load_all_families
 from .store import ResultStore, default_cache_dir
 
@@ -221,7 +222,11 @@ def execute(
     Identical specs within the batch execute once and fan out to every
     position.  With an active tracer, execution is serial and cache
     reads are skipped (a cache hit would yield an empty trace); cache
-    *writes* still happen so a traced cold run warms the cache.
+    *writes* still happen so a traced cold run warms the cache.  With an
+    active telemetry session, execution is serial and the cache is
+    bypassed entirely -- reads (a hit would yield no scrape windows)
+    *and* writes (telemetered payloads would otherwise differ from the
+    uniform cached schema only by happenstance of session settings).
     """
     specs = list(specs)
     if not specs:
@@ -230,6 +235,7 @@ def execute(
     load_all_families()
     tracer = get_active_tracer()
     traced = bool(getattr(tracer, "enabled", False))
+    telemetered = bool(getattr(get_active_telemetry(), "enabled", False))
     store = ResultStore(cfg.cache_dir) if cfg.cache else None
 
     started = time.perf_counter()
@@ -237,7 +243,7 @@ def execute(
     pending: Dict[str, List[int]] = {}
     keys = [spec.cache_key() for spec in specs]
     for i, (spec, key) in enumerate(zip(specs, keys)):
-        if store is not None and not traced:
+        if store is not None and not traced and not telemetered:
             payload = store.get(key)
             if payload is not None:
                 outcomes[i] = RunOutcome.from_payload(
@@ -249,20 +255,21 @@ def execute(
     miss_keys = list(pending)
     miss_specs = [specs[pending[key][0]] for key in miss_keys]
     if miss_specs:
-        effective_jobs = 1 if traced else min(cfg.jobs, len(miss_specs))
+        serial = traced or telemetered
+        effective_jobs = 1 if serial else min(cfg.jobs, len(miss_specs))
         if effective_jobs > 1:
             payloads = _run_pool(miss_specs, effective_jobs)
         else:
             payloads = []
             for spec in miss_specs:
                 payload = _execute_one(
-                    spec, label=spec.label() if traced else None
+                    spec, label=spec.label() if serial else None
                 )
                 if traced:
                     _emit_run_instant(tracer, spec, payload)
                 payloads.append(payload)
         for key, payload in zip(miss_keys, payloads):
-            if store is not None:
+            if store is not None and not telemetered:
                 store.put(key, payload)
             for idx in pending[key]:
                 outcomes[idx] = RunOutcome.from_payload(

@@ -31,7 +31,10 @@ from ..sim.metrics import Summary
 #: Bump when the payload layout or extras schema changes incompatibly.
 #: 2: RunSpec grew the ``faults`` identity field (repro.faults) and
 #: extras gained cancelled_ops / cancel_signals_dropped / fault fields.
-CACHE_SCHEMA = 2
+#: 3: extras may gain health_events / telemetry fields
+#: (repro.telemetry), and the windowing convention behind the cached
+#: fault timeline moved to the shared ceil-based helper.
+CACHE_SCHEMA = 3
 
 #: Modules whose import populates the sim-builder registry.  Worker
 #: processes (and cold parents) import these before resolving families;

@@ -129,6 +129,16 @@ class Atropos(BaseController):
     def tracing_cost(self, n_events: int = 1) -> float:
         return n_events * self.runtime.event_cost()
 
+    def telemetry_snapshot(self) -> dict:
+        """Controller state for the telemetry scraper: cancels, the
+        detector's latest sample, signal outcomes, and blame scores."""
+        snap = super().telemetry_snapshot()
+        snap["detector"] = self.detector.telemetry_snapshot()
+        snap["signals"] = self.cancellation.telemetry_snapshot()
+        if self.last_assessment is not None:
+            snap["blame"] = self.last_assessment.blame_scores()
+        return snap
+
     # ------------------------------------------------------------------
     # Feedback + monitor loop
     # ------------------------------------------------------------------

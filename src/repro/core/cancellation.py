@@ -86,6 +86,18 @@ class CancellationManager:
         self.fault_rng = None
         #: Count of signals lost to the drop fault.
         self.dropped_signals: int = 0
+        #: Count of signals that reached their task's initiator.
+        self.delivered_signals: int = 0
+        #: Count of signals routed through the slow-initiator path.
+        self.delayed_signals: int = 0
+
+    def telemetry_snapshot(self) -> dict:
+        """Signal-outcome counters for the telemetry scraper."""
+        return {
+            "delivered": self.delivered_signals,
+            "dropped": self.dropped_signals,
+            "delayed": self.delayed_signals,
+        }
 
     # ------------------------------------------------------------------
     # Initiator registration (setCancelAction)
@@ -175,7 +187,9 @@ class CancellationManager:
                 score=score,
             )
         )
+        self.delivered_signals += 1
         if self.initiator_delay > 0.0:
+            self.delayed_signals += 1
             self.env.process(
                 self._delayed_initiate(task, signal, self.initiator_delay)
             )

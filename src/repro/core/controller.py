@@ -104,6 +104,11 @@ class BaseController:
     def live_tasks(self) -> List[CancellableTask]:
         return [t for t in self.tasks.values() if t.alive]
 
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """Scrape-friendly controller state; subclasses add detector /
+        signal / blame sections (see :mod:`repro.telemetry.scrape`)."""
+        return {"cancels_issued": self.cancels_issued}
+
     # ------------------------------------------------------------------
     # Resource tracing (paper Figure 6b); no-ops by default
     # ------------------------------------------------------------------

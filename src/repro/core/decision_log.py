@@ -40,6 +40,9 @@ class DecisionKind(enum.Enum):
     #: A fault was injected into (or lifted from) the run
     #: (:mod:`repro.faults`); correlates faults with (mis)cancellations.
     FAULT = "fault"
+    #: A telemetry health rule fired (:mod:`repro.telemetry.health`);
+    #: correlates SLO violations with the decisions around them.
+    HEALTH = "health"
 
 
 @dataclass

@@ -68,6 +68,23 @@ class OverloadDetector:
         if record.completed:
             self.window.observe(record.finish_time, record.latency)
 
+    def telemetry_snapshot(self) -> dict:
+        """Latest detector observation for the telemetry scraper."""
+        if not self.history:
+            return {
+                "overloaded": 0.0,
+                "tail_latency": float("nan"),
+                "throughput": 0.0,
+                "samples": 0,
+            }
+        last = self.history[-1]
+        return {
+            "overloaded": 1.0 if last.overloaded else 0.0,
+            "tail_latency": last.tail_latency,
+            "throughput": last.throughput,
+            "samples": last.samples,
+        }
+
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------

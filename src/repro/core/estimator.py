@@ -102,6 +102,12 @@ class OverloadAssessment:
             return None
         return max(self.resources, key=lambda r: r.contention_norm)
 
+    def blame_scores(self) -> Dict[str, float]:
+        """Normalized contention per resource name (telemetry blame)."""
+        return {
+            r.resource.name: r.contention_norm for r in self.resources
+        }
+
 
 class Estimator:
     """Computes contention levels and per-task resource gains.

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..core.controller import BaseController, NullController
 from ..obs.tracer import get_active_tracer
+from ..telemetry import get_active_telemetry
 from ..sim.environment import Environment
 from ..sim.metrics import MetricsCollector, Summary
 from ..sim.rng import Rng
@@ -47,6 +48,10 @@ class RunResult:
     #: The :class:`repro.faults.FaultInjector` armed for this run, with
     #: its per-fault event log; None for clean (unfaulted) runs.
     faults: Optional[object] = None
+    #: The :class:`repro.telemetry.RunTelemetry` recorded for this run;
+    #: None unless a telemetry session was active (see
+    #: :func:`repro.telemetry.telemetry_session`).
+    telemetry: Optional[object] = None
 
     @property
     def throughput(self) -> float:
@@ -78,27 +83,14 @@ class RunResult:
         :attr:`summary`, so windows inside the warm-up report zero
         throughput; the time axis always covers [0, duration].
         """
-        from ..sim.metrics import percentile
+        from ..sim.metrics import completion_windows, percentile
 
-        if window <= 0:
-            raise ValueError("window must be positive")
-        points = []
-        n_windows = max(1, int(self.duration / window))
-        buckets = [[] for _ in range(n_windows)]
-        for record in self.trimmed_collector.records:
-            if not record.completed:
-                continue
-            idx = min(int(record.finish_time // window), n_windows - 1)
-            buckets[idx].append(record.latency)
-        for i, latencies in enumerate(buckets):
-            points.append(
-                (
-                    (i + 1) * window,
-                    len(latencies) / window,
-                    percentile(latencies, 99),
-                )
+        return [
+            (end, len(latencies) / window, percentile(latencies, 99))
+            for end, latencies in completion_windows(
+                self.trimmed_collector.records, window, self.duration
             )
-        return points
+        ]
 
 
 def run_simulation(
@@ -135,6 +127,10 @@ def run_simulation(
     one Chrome-trace process in it: the kernel, resources, driver, and
     controller all emit through ``env.tracer``.  Tracing never perturbs
     the simulation itself -- results are identical with or without it.
+    The same holds for an active telemetry session
+    (:func:`repro.telemetry.telemetry_session`): the scraper is a
+    pull-based sim process that only *reads* model state, so scraped
+    runs report identical results.
     """
     tracer = get_active_tracer()
     if tracer.enabled and tracer.accepting_runs:
@@ -159,8 +155,30 @@ def run_simulation(
 
         injector = FaultInjector(env, fault_plan, rng.fork("faults"))
         injector.arm(app=app, controller=controller, driver=driver)
+    scraper = None
+    telemetry = get_active_telemetry()
+    if telemetry.enabled and telemetry.accepting_runs:
+        from ..telemetry.health import slo_of
+        from ..telemetry.scrape import Scraper
+
+        telemetry_run = telemetry.new_run(
+            label or f"run-{len(telemetry.runs) + 1}:seed={seed}"
+        )
+        scraper = Scraper(
+            env,
+            telemetry_run,
+            rules=telemetry.rules_for(controller),
+            slo=slo_of(controller),
+            live_sink=telemetry.live_sink,
+        )
+        scraper.attach(
+            app=app, driver=driver, controller=controller, faults=injector
+        )
+        scraper.start()
     env.run(until=duration)
     env.tracer.close_open_spans(env.now)
+    if scraper is not None:
+        scraper.finalize(env.now)
 
     effective = duration - warmup if warmup > 0.0 else duration
     summary = Summary.from_collector(collector.trimmed(warmup), effective)
@@ -173,6 +191,7 @@ def run_simulation(
         duration=duration,
         warmup=warmup,
         faults=injector,
+        telemetry=scraper.run if scraper is not None else None,
     )
 
 
@@ -287,4 +306,12 @@ def extract_extras(result: RunResult) -> Dict[str, Any]:
             ]
             for end, tput, p99 in result.timeline(0.5)
         ]
+    if result.telemetry is not None:
+        run = result.telemetry
+        extras["health_events"] = [e.to_dict() for e in run.health_events]
+        extras["telemetry"] = {
+            "windows": len(run.windows),
+            "interval": round(run.interval, 9),
+            "resources": list(run.resource_names),
+        }
     return extras

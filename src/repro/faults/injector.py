@@ -116,6 +116,8 @@ class FaultInjector:
         self.rng = rng
         #: Deterministic record of every injection/revert.
         self.events: List[FaultEvent] = []
+        #: Applied-and-not-yet-reverted fault count (telemetry gauge).
+        self.active_faults = 0
         self._app: Any = None
         self._controller: Any = None
         self._driver: Any = None
@@ -149,11 +151,15 @@ class FaultInjector:
         if fault.at > 0.0:
             yield self.env.timeout(fault.at)
         applied, detail, revert = self._apply(fault)
+        if applied:
+            self.active_faults += 1
         self._record(fault, "inject", applied, detail)
         if fault.duration is not None:
             yield self.env.timeout(fault.duration)
             if revert is not None:
                 revert()
+            if applied:
+                self.active_faults -= 1
             self._record(fault, "restore", applied, detail)
 
     def _record(

@@ -34,6 +34,13 @@ class Environment:
         self._active_process: Optional[Process] = None
         #: Structured tracer (NULL_TRACER = tracing disabled, the default).
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Number of started-but-unfinished processes (telemetry gauge).
+        self.alive_processes = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of scheduled-but-unprocessed events (telemetry gauge)."""
+        return len(self._queue)
 
     @property
     def now(self) -> float:

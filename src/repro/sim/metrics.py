@@ -54,12 +54,14 @@ class RequestRecord:
 def percentile(values: Sequence[float], pct: float) -> float:
     """Exact percentile by linear interpolation (numpy-compatible).
 
-    Returns ``nan`` for an empty sequence.
+    Returns ``nan`` for an empty sequence.  An out-of-range ``pct``
+    raises even then -- a bad percentile is a caller bug regardless of
+    how many samples happen to be in the window.
     """
-    if not values:
-        return float("nan")
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    if not values:
+        return float("nan")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -74,19 +76,68 @@ def percentile(values: Sequence[float], pct: float) -> float:
     return ordered[low] + (ordered[high] - ordered[low]) * frac
 
 
+def window_count(end_time: float, window: float) -> int:
+    """Number of fixed windows covering ``[0, end_time]`` (ceil, min 1).
+
+    The single window convention shared by every per-window series in
+    the repo (:func:`completion_windows`, the telemetry scraper, fault
+    recovery timelines): the last window may be partial, and a series
+    always has at least one window.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    return max(1, int(math.ceil(end_time / window)))
+
+
+def completion_windows(
+    records: Sequence[RequestRecord], window: float, end_time: float
+) -> List[Tuple[float, List[float]]]:
+    """Bucket completed records by finish time into fixed windows.
+
+    Returns ``[(window_end, [latencies...]), ...]`` covering
+    ``[0, end_time]`` with :func:`window_count` windows.  Window ``i``
+    spans ``[i*window, (i+1)*window)`` -- a completion exactly on a
+    boundary lands in the *following* window -- except the last window,
+    which is closed on the right (records finishing at or after the
+    nominal end are clamped into it, so no completion is ever dropped).
+
+    This is the one windowing helper shared by
+    :meth:`MetricsCollector.throughput_series`, the harness timeline
+    (fault recovery plots, ``fig*`` series), and the telemetry layer,
+    so per-window numbers cannot drift between consumers.
+    """
+    n_windows = window_count(end_time, window)
+    buckets: List[List[float]] = [[] for _ in range(n_windows)]
+    for record in records:
+        if not record.completed:
+            continue
+        idx = min(int(record.finish_time // window), n_windows - 1)
+        buckets[idx].append(record.latency)
+    return [
+        ((i + 1) * window, buckets[i]) for i in range(n_windows)
+    ]
+
+
 class MetricsCollector:
     """Accumulates terminal request records for a simulation run."""
 
     def __init__(self) -> None:
         self.records: List[RequestRecord] = []
         self._offered = 0
+        #: Offered counts per operation name (only populated by callers
+        #: that pass ``op_name``; the total stays authoritative).
+        self.offered_by_op: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def note_offered(self, n: int = 1) -> None:
+    def note_offered(self, n: int = 1, op_name: Optional[str] = None) -> None:
         """Count requests offered to the system (including rejected ones)."""
         self._offered += n
+        if op_name is not None:
+            self.offered_by_op[op_name] = (
+                self.offered_by_op.get(op_name, 0) + n
+            )
 
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -103,6 +154,7 @@ class MetricsCollector:
             return self
         view = MetricsCollector()
         view.note_offered(self.offered)
+        view.offered_by_op = dict(self.offered_by_op)
         for record in self.records:
             if record.finish_time >= cutoff:
                 view.record(record)
@@ -174,17 +226,11 @@ class MetricsCollector:
         self, window: float, end_time: float
     ) -> List[Tuple[float, float]]:
         """(window_end, completions/sec) series over [0, end_time]."""
-        if window <= 0:
-            raise ValueError("window must be positive")
-        n_windows = max(1, int(math.ceil(end_time / window)))
-        counts = [0] * n_windows
-        for r in self.records:
-            if not r.completed:
-                continue
-            idx = min(int(r.finish_time // window), n_windows - 1)
-            counts[idx] += 1
         return [
-            ((i + 1) * window, counts[i] / window) for i in range(n_windows)
+            (end, len(latencies) / window)
+            for end, latencies in completion_windows(
+                self.records, window, end_time
+            )
         ]
 
 
@@ -193,6 +239,12 @@ class SlidingWindow:
 
     Keeps (finish_time, latency) pairs within a trailing horizon; supports
     cheap throughput and tail-latency queries over that horizon.
+
+    Boundary convention: the window is *closed* on both ends -- an entry
+    whose finish time is exactly ``now - horizon`` is still counted, and
+    only entries strictly older are evicted.  Detector thresholds were
+    calibrated against this convention (tests/property pin it down), so
+    do not "fix" the eviction comparison to ``<=``.
     """
 
     def __init__(self, horizon: float) -> None:

@@ -85,6 +85,7 @@ class Process(Event):
             if tracer.enabled
             else None
         )
+        env.alive_processes += 1
         Initialize(env, self)
 
     @property
@@ -140,6 +141,7 @@ class Process(Event):
                 if self._span is not None:
                     self._span.end(env.now, outcome="finished")
                     self._span = None
+                env.alive_processes -= 1
                 env.schedule(self, priority=NORMAL)
                 break
             except BaseException as exc:
@@ -153,6 +155,7 @@ class Process(Event):
                 if self._span is not None:
                     self._span.end(env.now, outcome=type(exc).__name__)
                     self._span = None
+                env.alive_processes -= 1
                 env.schedule(self, priority=NORMAL)
                 break
 
@@ -166,6 +169,7 @@ class Process(Event):
                 if self._span is not None:
                     self._span.end(env.now, outcome="error")
                     self._span = None
+                env.alive_processes -= 1
                 env.schedule(self, priority=NORMAL)
                 break
 

@@ -63,6 +63,16 @@ class CPU:
     def consumed(self, owner: Any) -> float:
         return self.usage.get(owner, 0.0)
 
+    def telemetry_snapshot(self) -> dict:
+        """Scrape-friendly state (see :mod:`repro.telemetry.scrape`)."""
+        return {
+            "utilization": self.busy_cores / self.cores
+            if self.cores else 0.0,
+            "queue_depth": float(self.run_queue_length),
+            "cores": float(self.cores),
+            "cpu_seconds_total": sum(self.usage.values()),
+        }
+
     # ------------------------------------------------------------------
     # Fault injection (core loss)
     # ------------------------------------------------------------------

@@ -69,6 +69,16 @@ class DiskIO:
     def transferred(self, owner: Any) -> float:
         return self.bytes_by_owner.get(owner, 0.0)
 
+    def telemetry_snapshot(self) -> dict:
+        """Scrape-friendly state (see :mod:`repro.telemetry.scrape`)."""
+        slots = self._pool.workers
+        return {
+            "utilization": self.inflight / slots if slots else 0.0,
+            "queue_depth": float(self.queue_length),
+            "bandwidth_bytes_per_sec": self.bandwidth,
+            "bytes_total": self.total_bytes,
+        }
+
     # ------------------------------------------------------------------
     # Fault injection (device slowdown)
     # ------------------------------------------------------------------

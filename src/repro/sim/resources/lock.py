@@ -76,6 +76,16 @@ class SyncLock(Resource):
     def holder_owners(self) -> List[Any]:
         return [g.owner for g in self._holders]
 
+    def telemetry_snapshot(self) -> dict:
+        """Scrape-friendly state (see :mod:`repro.telemetry.scrape`)."""
+        return {
+            "utilization": 1.0 if self._holders else 0.0,
+            "queue_depth": float(len(self._waiters)),
+            "holders": float(len(self._holders)),
+            "wait_seconds_total": self.total_wait_time,
+            "hold_seconds_total": self.total_hold_time,
+        }
+
     # ------------------------------------------------------------------
     # Acquire / release
     # ------------------------------------------------------------------

@@ -116,6 +116,17 @@ class MemoryPool(Resource):
     def occupancy(self) -> float:
         return self.used_pages / self.capacity_pages
 
+    def telemetry_snapshot(self) -> dict:
+        """Scrape-friendly state (see :mod:`repro.telemetry.scrape`)."""
+        return {
+            "utilization": self.occupancy(),
+            "capacity_pages": float(self.capacity_pages),
+            "free_pages": float(self.free_pages),
+            "acquired_pages_total": float(self.total_acquired),
+            "evicted_pages_total": float(self.total_evicted),
+            "released_pages_total": float(self.total_released),
+        }
+
     # ------------------------------------------------------------------
     # Fault injection (capacity loss)
     # ------------------------------------------------------------------

@@ -156,6 +156,17 @@ class ThreadPool(Resource):
     def idle_workers(self) -> int:
         return self.workers - len(self._running)
 
+    def telemetry_snapshot(self) -> dict:
+        """Scrape-friendly state (see :mod:`repro.telemetry.scrape`)."""
+        return {
+            "utilization": len(self._running) / self.workers
+            if self.workers else 0.0,
+            "queue_depth": float(len(self._waiters)),
+            "workers": float(self.workers),
+            "wait_seconds_total": self.total_wait_time,
+            "busy_seconds_total": self.total_busy_time,
+        }
+
     def _reserved_headroom(self, klass: str) -> int:
         """Workers that must stay free for *other* classes' reservations."""
         headroom = 0

@@ -1,0 +1,260 @@
+"""Deterministic metrics registry: counters, gauges, histograms, sketches.
+
+A Prometheus-style registry adapted to the simulation's determinism
+rules: every sample is keyed on *simulated* time by the scraper, metric
+identity is (name, sorted label pairs), and nothing here touches the
+wall clock, ``id()``, or unordered iteration -- so the same seed
+produces byte-identical exports under any ``PYTHONHASHSEED``.
+
+The four instrument kinds mirror what the production controllers the
+paper compares against expose (Breakwater's per-window congestion
+signals, SEDA's stage counters):
+
+* :class:`Counter` -- monotone totals (requests completed, signals sent),
+* :class:`Gauge` -- point-in-time levels (queue depth, utilization),
+* :class:`Histogram` -- fixed **log-spaced** latency buckets
+  (:func:`log_buckets`), cumulative on export like Prometheus ``le``,
+* :class:`QuantileSketch` -- a bounded streaming quantile summary with
+  deterministic pairwise compaction (no randomness, no timestamps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Canonical label encoding: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def log_buckets(
+    lo: float = 1e-4, hi: float = 10.0, per_decade: int = 3
+) -> Tuple[float, ...]:
+    """Fixed log-spaced bucket upper bounds covering ``[lo, hi]``.
+
+    Bounds are ``lo * 10**(k/per_decade)`` computed from integer
+    exponents, so the same arguments always yield the same floats.
+    """
+    if lo <= 0 or hi <= lo or per_decade < 1:
+        raise ValueError("need 0 < lo < hi and per_decade >= 1")
+    bounds: List[float] = []
+    k = 0
+    while True:
+        bound = lo * 10.0 ** (k / per_decade)
+        bounds.append(bound)
+        if bound >= hi:
+            break
+        k += 1
+    return tuple(bounds)
+
+
+#: Default latency buckets: 100us .. 10s, 3 per decade.
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-4, 10.0, 3)
+
+
+class Counter:
+    """Monotone total.  ``inc()`` only; decreasing is a bug."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time level; ``set()`` overwrites."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper bounds ascending, +Inf implicit).
+
+    ``counts[i]`` holds observations ``<= buckets[i]`` minus the lower
+    buckets (per-bucket, *not* cumulative; export layers cumulate like
+    Prometheus ``le``).  The overflow bucket is ``counts[-1]``.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(buckets if buckets is not None
+                       else DEFAULT_LATENCY_BUCKETS)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly ascending")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class QuantileSketch:
+    """Bounded streaming quantile summary with deterministic compaction.
+
+    Keeps at most ``cap`` weighted samples.  On overflow the sorted
+    sample list is compacted pairwise -- adjacent samples merge into the
+    *upper* value with summed weight, which biases tail quantiles
+    conservatively (never under-reports p99).  Compaction depends only
+    on the observation sequence, so identical runs produce identical
+    sketches.
+    """
+
+    kind = "summary"
+    __slots__ = ("cap", "_items", "sum", "count")
+
+    def __init__(self, cap: int = 512) -> None:
+        if cap < 8:
+            raise ValueError("sketch cap must be >= 8")
+        self.cap = cap
+        #: (value, weight) samples, unsorted between compactions.
+        self._items: List[Tuple[float, int]] = []
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self._items.append((float(value), 1))
+        self.sum += value
+        self.count += 1
+        if len(self._items) > self.cap:
+            self._compact()
+
+    def _compact(self) -> None:
+        items = sorted(self._items)
+        merged: List[Tuple[float, int]] = []
+        for i in range(0, len(items) - 1, 2):
+            low, high = items[i], items[i + 1]
+            merged.append((high[0], low[1] + high[1]))
+        if len(items) % 2:
+            merged.append(items[-1])
+        self._items = merged
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``0 <= q <= 1``); nan when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._items:
+            return float("nan")
+        items = sorted(self._items)
+        total = sum(w for _, w in items)
+        target = q * total
+        running = 0.0
+        for value, weight in items:
+            running += weight
+            if running >= target:
+                return value
+        return items[-1][0]
+
+
+class MetricsRegistry:
+    """Named metric families with labelled children.
+
+    ``counter()``/``gauge()``/``histogram()``/``sketch()`` get-or-create
+    the child for a label set; re-declaring a name with a different kind
+    raises.  :meth:`collect` iterates families sorted by name and
+    children sorted by label key, so exports are deterministic.
+    """
+
+    def __init__(self) -> None:
+        #: name -> (kind, help, {label_key: metric})
+        self._families: Dict[str, Tuple[str, str, Dict[LabelKey, object]]] = {}
+
+    def _family(self, name: str, kind: str, help_text: str):
+        family = self._families.get(name)
+        if family is None:
+            family = (kind, help_text, {})
+            self._families[name] = family
+        elif family[0] != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family[0]}, "
+                f"not {kind}"
+            )
+        return family[2]
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        children = self._family(name, "counter", help_text)
+        key = _label_key(labels)
+        child = children.get(key)
+        if child is None:
+            child = children[key] = Counter()
+        return child  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        children = self._family(name, "gauge", help_text)
+        key = _label_key(labels)
+        child = children.get(key)
+        if child is None:
+            child = children[key] = Gauge()
+        return child  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        children = self._family(name, "histogram", help_text)
+        key = _label_key(labels)
+        child = children.get(key)
+        if child is None:
+            child = children[key] = Histogram(buckets)
+        return child  # type: ignore[return-value]
+
+    def sketch(
+        self, name: str, help_text: str = "", cap: int = 512, **labels: str
+    ) -> QuantileSketch:
+        children = self._family(name, "summary", help_text)
+        key = _label_key(labels)
+        child = children.get(key)
+        if child is None:
+            child = children[key] = QuantileSketch(cap)
+        return child  # type: ignore[return-value]
+
+    def collect(
+        self,
+    ) -> Iterator[Tuple[str, str, str, List[Tuple[LabelKey, object]]]]:
+        """Yield (name, kind, help, [(label_key, metric), ...]) sorted."""
+        for name in sorted(self._families):
+            kind, help_text, children = self._families[name]
+            yield name, kind, help_text, sorted(
+                children.items(), key=lambda item: item[0]
+            )

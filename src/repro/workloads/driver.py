@@ -108,7 +108,7 @@ class Driver:
         controller = self.controller
         request_id = next(self._req_seq)
         arrival = env.now
-        self.collector.note_offered()
+        self.collector.note_offered(op_name=op.name)
         self.inflight += 1
         retries = 0
         tracer = self._tracer

@@ -1,0 +1,163 @@
+"""Property tests for the shared metric helpers.
+
+Pins the percentile edge cases, the closed-boundary SlidingWindow
+eviction convention, and the ceil-based windowing helper that the
+harness timeline, throughput series, and telemetry scraper all share.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RequestRecord, RequestStatus
+from repro.sim.metrics import (
+    SlidingWindow,
+    completion_windows,
+    percentile,
+    window_count,
+)
+
+latencies = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e6,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestPercentileProperties:
+    @given(values=latencies, pct=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=200)
+    def test_result_bounded_by_extremes(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+
+    @given(values=latencies)
+    @settings(max_examples=200)
+    def test_monotone_in_pct(self, values):
+        points = [percentile(values, pct) for pct in (0, 25, 50, 75, 100)]
+        assert points == sorted(points)
+        assert points[0] == min(values)
+        assert points[-1] == max(values)
+
+    @given(values=latencies, pct=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100)
+    def test_order_invariant(self, values, pct):
+        assert percentile(values, pct) == percentile(
+            list(reversed(values)), pct
+        )
+
+    @given(pct=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=50)
+    def test_empty_is_nan(self, pct):
+        assert math.isnan(percentile([], pct))
+
+    @given(pct=st.one_of(
+        st.floats(max_value=-1e-9, allow_nan=False),
+        st.floats(min_value=100.0 + 1e-9, allow_nan=False,
+                  allow_infinity=False),
+    ))
+    @settings(max_examples=50)
+    def test_out_of_range_pct_raises_even_when_empty(self, pct):
+        with pytest.raises(ValueError):
+            percentile([], pct)
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], pct)
+
+
+class TestSlidingWindowProperties:
+    def test_entry_exactly_at_horizon_edge_is_kept(self):
+        """The window is closed on both ends; detector thresholds were
+        calibrated against this, so the boundary is pinned exactly."""
+        window = SlidingWindow(horizon=1.0)
+        window.observe(0.0, 0.01)
+        assert window.count(1.0) == 1          # age == horizon: kept
+        assert window.count(1.0 + 1e-9) == 0   # strictly older: evicted
+
+    @given(
+        finish_times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=50,
+        ),
+        horizon=st.floats(min_value=0.1, max_value=10.0,
+                          allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_count_matches_closed_interval_definition(
+        self, finish_times, horizon
+    ):
+        window = SlidingWindow(horizon=horizon)
+        for t in sorted(finish_times):
+            window.observe(t, 0.01)
+        now = max(finish_times)
+        expected = sum(
+            1 for t in finish_times if t >= now - horizon
+        )
+        assert window.count(now) == expected
+        assert window.throughput(now) == pytest.approx(
+            expected / horizon
+        )
+
+
+def make_records(finish_times):
+    return [
+        RequestRecord(
+            request_id=i,
+            op_name="op",
+            client_id="c",
+            arrival_time=max(0.0, t - 0.01),
+            finish_time=t,
+            status=RequestStatus.COMPLETED,
+        )
+        for i, t in enumerate(finish_times)
+    ]
+
+
+class TestWindowingProperties:
+    @given(
+        end_time=st.floats(min_value=0.0, max_value=1e4,
+                           allow_nan=False),
+        window=st.floats(min_value=1e-3, max_value=100.0,
+                         allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_window_count_covers_end_time(self, end_time, window):
+        n = window_count(end_time, window)
+        assert n >= 1
+        assert n * window >= end_time
+        # Minimal cover: one fewer window would not reach end_time.
+        assert n == 1 or (n - 1) * window < end_time
+
+    def test_window_count_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            window_count(1.0, 0.0)
+
+    @given(
+        finish_times=st.lists(
+            st.floats(min_value=0.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            max_size=40,
+        ),
+        window=st.floats(min_value=0.25, max_value=5.0,
+                         allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_no_completion_is_ever_dropped(self, finish_times, window):
+        end_time = 10.0
+        records = make_records(finish_times)
+        buckets = completion_windows(records, window, end_time)
+        assert len(buckets) == window_count(end_time, window)
+        total = sum(len(latencies) for _, latencies in buckets)
+        # Records finishing past end_time clamp into the last bucket.
+        assert total == len(records)
+
+    def test_boundary_lands_in_following_window_except_last(self):
+        records = make_records([0.0, 1.0, 2.0])
+        buckets = completion_windows(records, 1.0, 2.0)
+        assert [len(latencies) for _, latencies in buckets] == [1, 2]
+        assert [end for end, _ in buckets] == [1.0, 2.0]

@@ -1,0 +1,61 @@
+"""Telemetry exports must be byte-identical across PYTHONHASHSEEDs.
+
+The registry/export layers promise determinism: metric identity is
+(name, sorted labels), collection is sorted, floats render via ``repr``.
+Any reliance on dict/set iteration order or ``id()`` anywhere along the
+scrape -> registry -> export path would show up here as a byte diff
+between interpreters with different hash seeds.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+_SCRIPT = """
+import sys
+from repro.apps.mysql import MySQL, light_mix
+from repro.core import Atropos, AtroposConfig
+from repro.experiments import run_simulation
+from repro.telemetry import (
+    TelemetrySession, jsonl_series, prometheus_text, render_html_report,
+    telemetry_session,
+)
+from repro.workloads import OpenLoopSource, Workload
+
+session = TelemetrySession(interval=0.5)
+with telemetry_session(session):
+    run_simulation(
+        lambda env, ctl, rng: MySQL(env, ctl, rng),
+        lambda app, rng: Workload(
+            [OpenLoopSource(rate=200.0, mix=light_mix(rng))]
+        ),
+        lambda env: Atropos(env, AtroposConfig(slo_latency=0.05)),
+        duration=3.0,
+        seed=3,
+        label="det",
+    )
+sys.stdout.write(prometheus_text(session.runs))
+sys.stdout.write("\\x00")
+sys.stdout.write(jsonl_series(session.runs))
+sys.stdout.write("\\x00")
+sys.stdout.write(render_html_report(session.runs))
+"""
+
+
+def _export_digest(hash_seed):
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert proc.stdout, proc.stderr
+    return hashlib.sha256(proc.stdout.encode()).hexdigest()
+
+
+def test_exports_byte_identical_across_hash_seeds():
+    digests = {_export_digest(seed) for seed in ("0", "1", "9973")}
+    assert len(digests) == 1

@@ -1,0 +1,106 @@
+"""Exporter format tests: Prometheus text and JSONL series."""
+
+import json
+
+from repro.telemetry import (
+    jsonl_series,
+    prometheus_text,
+    TelemetrySession,
+    telemetry_session,
+)
+
+from .test_scrape import run_mysql
+
+
+def scraped_session(**kwargs):
+    session = TelemetrySession(interval=0.5)
+    with telemetry_session(session):
+        run_mysql(duration=2.0, **kwargs)
+    return session
+
+
+class TestPrometheusText:
+    def test_empty_session_renders_empty(self):
+        assert prometheus_text([]) == ""
+
+    def test_families_have_type_and_carry_run_label(self):
+        session = scraped_session()
+        text = prometheus_text(session.runs)
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert any(
+            line.startswith("# TYPE repro_scrapes_total counter")
+            for line in lines
+        )
+        samples = [line for line in lines if not line.startswith("#")]
+        assert samples
+        assert all('run="' in line for line in samples)
+
+    def test_histogram_buckets_are_cumulative_and_end_at_count(self):
+        session = scraped_session()
+        text = prometheus_text(session.runs)
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_request_latency_seconds_bucket")
+        ]
+        count = next(
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_request_latency_seconds_count")
+        )
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == count
+        assert count > 0
+        assert 'le="+Inf"' in text
+
+    def test_summary_quantiles_rendered(self):
+        text = prometheus_text(scraped_session().runs)
+        assert 'quantile="0.99"' in text
+        assert "repro_request_latency_sum" in text
+
+    def test_headers_deduplicated_across_runs(self):
+        session = TelemetrySession(interval=0.5)
+        with telemetry_session(session):
+            run_mysql(duration=1.0, seed=0)
+            run_mysql(duration=1.0, seed=1)
+        text = prometheus_text(session.runs)
+        type_lines = [
+            line for line in text.splitlines()
+            if line == "# TYPE repro_scrapes_total counter"
+        ]
+        assert len(type_lines) == 1
+
+
+class TestJsonlSeries:
+    def test_lines_parse_and_cover_all_kinds(self):
+        session = scraped_session()
+        text = jsonl_series(session.runs)
+        rows = [json.loads(line) for line in text.splitlines()]
+        kinds = [row["kind"] for row in rows]
+        assert kinds[0] == "run"
+        assert "window" in kinds
+
+    def test_run_header_describes_the_series(self):
+        session = scraped_session()
+        header = json.loads(
+            jsonl_series(session.runs).splitlines()[0]
+        )
+        run = session.runs[0]
+        assert header["windows"] == len(run.windows)
+        assert header["resources"] == run.resource_names
+        assert header["interval"] == 0.5
+
+    def test_values_are_json_safe_and_sorted(self):
+        session = scraped_session()
+        for line in jsonl_series(session.runs).splitlines():
+            row = json.loads(line)
+            if row["kind"] != "window":
+                continue
+            keys = list(row["values"])
+            assert keys == sorted(keys)
+            for value in row["values"].values():
+                assert value is None or isinstance(value, (int, float))
+
+    def test_empty_session_renders_empty(self):
+        assert jsonl_series([]) == ""

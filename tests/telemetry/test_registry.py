@@ -1,0 +1,151 @@
+"""Unit tests for the deterministic metrics registry."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_covers_range_and_is_sorted(self):
+        bounds = log_buckets(1e-4, 10.0, 3)
+        assert bounds[0] == pytest.approx(1e-4)
+        assert bounds[-1] >= 10.0
+        assert list(bounds) == sorted(bounds)
+
+    def test_deterministic(self):
+        assert log_buckets(1e-3, 1.0, 4) == log_buckets(1e-3, 1.0, 4)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 10.0, per_decade=0)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc(-1.5)
+        assert g.value == pytest.approx(2.5)
+
+
+class TestHistogram:
+    def test_observations_land_in_first_covering_bucket(self):
+        h = Histogram(buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.0, 1.5, 3.0, 99.0):
+            h.observe(value)
+        # counts: <=1: {0.5, 1.0}, <=2: {1.5}, <=4: {3.0}, +Inf: {99.0}
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(105.0)
+
+    def test_cumulative_is_monotone_and_ends_at_count(self):
+        h = Histogram(buckets=[0.1, 1.0])
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        cum = h.cumulative()
+        counts = [c for _, c in cum]
+        assert counts == sorted(counts)
+        assert cum[-1][0] == float("inf")
+        assert cum[-1][1] == h.count
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[1.0, 0.5])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[1.0, 1.0])
+
+
+class TestQuantileSketch:
+    def test_exact_below_cap(self):
+        s = QuantileSketch(cap=64)
+        for i in range(50):
+            s.observe(float(i))
+        assert s.quantile(0.0) == 0.0
+        assert s.quantile(1.0) == 49.0
+        assert s.quantile(0.5) == pytest.approx(25.0, abs=1.0)
+
+    def test_compaction_preserves_count_and_never_underestimates_tail(self):
+        s = QuantileSketch(cap=16)
+        values = [float(i % 97) for i in range(500)]
+        for value in values:
+            s.observe(value)
+        assert s.count == 500
+        assert s.sum == pytest.approx(sum(values))
+        assert len(s._items) <= s.cap
+        exact_p99 = sorted(values)[int(0.99 * (len(values) - 1))]
+        # Compaction merges into the upper sample, biasing tails up.
+        assert s.quantile(0.99) >= exact_p99 - 1.0
+
+    def test_empty_is_nan_and_bad_q_raises(self):
+        s = QuantileSketch()
+        assert math.isnan(s.quantile(0.5))
+        with pytest.raises(ValueError):
+            s.quantile(1.5)
+
+    def test_rejects_tiny_cap(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(cap=4)
+
+    def test_deterministic_for_identical_streams(self):
+        a, b = QuantileSketch(cap=16), QuantileSketch(cap=16)
+        for i in range(300):
+            value = (i * 37 % 101) / 10.0
+            a.observe(value)
+            b.observe(value)
+        assert a._items == b._items
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_child(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x_total", op="read")
+        first.inc(3)
+        assert reg.counter("x_total", op="read") is first
+        assert reg.counter("x_total", op="write") is not first
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("g", a="1", b="2")
+        b = reg.gauge("g", b="2", a="1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_collect_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("zzz")
+        reg.counter("aaa", op="b")
+        reg.counter("aaa", op="a")
+        families = list(reg.collect())
+        assert [name for name, *_ in families] == ["aaa", "zzz"]
+        _, _, _, children = families[0]
+        assert [key for key, _ in children] == [
+            (("op", "a"),), (("op", "b"),)
+        ]

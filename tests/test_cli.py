@@ -70,6 +70,30 @@ class TestParser:
         assert args.cases == ["c1"]
         assert not args.full
 
+    def test_run_parses_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--telemetry", "out", "--live",
+             "--scrape-interval", "0.5"]
+        )
+        assert args.telemetry == "out"
+        assert args.live
+        assert args.scrape_interval == 0.5
+
+    def test_telemetry_flags_default_off(self):
+        args = build_parser().parse_args(["all"])
+        assert args.telemetry is None
+        assert not args.live
+        assert args.scrape_interval == 0.25
+
+    def test_report_parses(self):
+        args = build_parser().parse_args(
+            ["report", "fig2", "--out", "r.html", "--seed", "3"]
+        )
+        assert args.command == "report"
+        assert args.experiment == "fig2"
+        assert args.out == "r.html"
+        assert args.seed == 3
+
 
 class TestCommands:
     def test_list_exits_zero(self, capsys):
@@ -149,6 +173,47 @@ class TestCommands:
         warm = capsys.readouterr()
         assert warm.out == cold.out
         assert "misses=0" in warm.err
+
+    def test_report_unknown_experiment_exits_2(self, capsys):
+        assert main(["report", "fig99"]) == 2
+
+    def test_report_on_simulation_free_experiment(self, tmp_path, capsys):
+        # Tables regenerate from registries without simulating; the
+        # report degrades to a valid empty document.
+        out = str(tmp_path / "t.html")
+        assert main(["report", "table1", "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry report for 0 run(s)" in captured.err
+        text = (tmp_path / "t.html").read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "No telemetry captured" in text
+
+    @pytest.mark.slow
+    def test_report_writes_sparkline_html(self, tmp_path, capsys):
+        out = str(tmp_path / "fig2.html")
+        assert main(["report", "fig2", "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert "Fig 2" in captured.out
+        assert "telemetry report for 18 run(s)" in captured.err
+        text = (tmp_path / "fig2.html").read_text()
+        assert text.count("<svg") >= 4 * 18
+        assert "health timeline" in text
+
+    @pytest.mark.slow
+    def test_run_telemetry_writes_exports(self, tmp_path, capsys):
+        out_dir = tmp_path / "tel"
+        assert main(
+            ["run", "fig2", "--telemetry", str(out_dir),
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "telemetry for" in captured.err
+        # Telemetry bypasses the cache entirely: all misses, serial.
+        assert "hits=0" in captured.err
+        for name in ("metrics.prom", "series.jsonl", "report.html"):
+            assert (out_dir / name).exists(), name
+        prom = (out_dir / "metrics.prom").read_text()
+        assert "# TYPE repro_scrapes_total counter" in prom
 
     @pytest.mark.slow
     def test_run_reports_campaign_stats_on_stderr(self, tmp_path, capsys):

@@ -74,3 +74,9 @@ class TestRepoDocs:
         assert resilience.exists()
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/RESILIENCE.md" in readme
+
+    def test_observability_doc_exists_and_linked(self):
+        observability = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+        assert observability.exists()
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/OBSERVABILITY.md" in readme
