@@ -5,7 +5,9 @@ Usage::
     python -m repro list
     python -m repro run fig10 [--full] [--seed N] [--jobs N] [--no-cache]
     python -m repro run fig2 --telemetry out/ [--live] [--scrape-interval S]
+    python -m repro run fig9 --adaptive
     python -m repro all [--full] [--output FILE] [--jobs N] [--telemetry DIR]
+    python -m repro ablate-adaptive [--full] [--seed N] [--cases c1 c2]
     python -m repro sweep fig10 --seeds 0 1 2 [--jobs N]
     python -m repro case c5 [--system atropos] [--seed N]
     python -m repro trace fig3 --out trace.json [--util util.csv]
@@ -55,6 +57,7 @@ def _campaign_settings(args):
         jobs=getattr(args, "jobs", None),
         cache=getattr(args, "cache", None),
         cache_dir=getattr(args, "cache_dir", None),
+        adaptive=getattr(args, "adaptive", None) or None,
     )
 
 
@@ -410,6 +413,18 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_ablate_adaptive(args) -> int:
+    from .experiments.ablate_adaptive import run as run_ablation
+
+    with _campaign_settings(args):
+        result = run_ablation(
+            quick=not args.full, seed=args.seed, case_ids=args.cases
+        )
+    print(result.format())
+    _print_campaign_stats()
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .campaign.store import ResultStore, default_cache_dir
 
@@ -438,6 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--full", action="store_true",
                        help="full sweeps instead of quick mode")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--adaptive", action="store_true",
+        help="run ATROPOS with health-driven adaptive thresholds "
+        "(separate cache entries from fixed-threshold runs)",
+    )
     _add_campaign_flags(p_run)
     _add_telemetry_flags(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -445,10 +465,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--full", action="store_true")
     p_all.add_argument("--seed", type=int, default=0)
+    p_all.add_argument(
+        "--adaptive", action="store_true",
+        help="run ATROPOS with health-driven adaptive thresholds",
+    )
     p_all.add_argument("--output", help="write the report to a file")
     _add_campaign_flags(p_all)
     _add_telemetry_flags(p_all)
     p_all.set_defaults(func=cmd_all)
+
+    p_adapt = sub.add_parser(
+        "ablate-adaptive",
+        help="fixed vs health-driven adaptive thresholds across the cases",
+    )
+    p_adapt.add_argument("--full", action="store_true",
+                         help="all 16 cases instead of the quick subset")
+    p_adapt.add_argument("--seed", type=int, default=0)
+    p_adapt.add_argument(
+        "--cases", nargs="+", default=None, metavar="CID",
+        help="restrict to these case ids",
+    )
+    _add_campaign_flags(p_adapt)
+    p_adapt.set_defaults(func=cmd_ablate_adaptive)
 
     p_sweep = sub.add_parser(
         "sweep", help="run one experiment across several seeds"

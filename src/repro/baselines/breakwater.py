@@ -11,19 +11,52 @@ request monopolizes what (§2.2's critique).
 The paper uses Breakwater's detector shape inside ATROPOS (§3.3) and
 places the full system in Figure 1's design space; this implementation
 completes the comparison set.
+
+Pipeline composition: the shared
+:class:`~repro.core.pipeline.LatencyWindowSource` feeds the window mean
+to :class:`BreakwaterCreditAction`, which applies the credit AIMD.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict
 
 from ..core.controller import BaseController
+from ..core.pipeline import ActionPolicy, ControlPipeline, LatencyWindowSource
 from ..core.task import CancellableTask
-from ..sim.metrics import SlidingWindow
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
     from ..sim.metrics import RequestRecord
+
+
+class BreakwaterCreditAction(ActionPolicy):
+    """AIMD update of the credit pool keyed on queueing delay."""
+
+    name = "breakwater-credits"
+
+    def __init__(self, controller: "Breakwater") -> None:
+        self.controller = controller
+
+    def act(self, now: float, signals: Dict[str, Any]) -> None:
+        c = self.controller
+        mean = signals.get("mean_latency", float("nan"))
+        if mean != mean:  # nan: no completions in the window
+            delay = 0.0
+        else:
+            delay = max(0.0, mean - c._service_estimate)
+        violated = delay > c.target_delay
+        c.last_violation = violated
+        if violated:
+            c.credits = max(
+                float(c.min_credits),
+                c.credits * c.multiplicative_decrease,
+            )
+        else:
+            c.credits = min(
+                float(c.max_credits),
+                c.credits + c.additive_increase,
+            )
 
 
 class Breakwater(BaseController):
@@ -59,19 +92,33 @@ class Breakwater(BaseController):
         self.additive_increase = additive_increase
         self.multiplicative_decrease = multiplicative_decrease
         self.overcommit = overcommit
-        self.window = SlidingWindow(horizon=1.0)
         #: Requests currently holding a credit (executing).
         self.inflight = 0
         self.rejections = 0
+        #: Whether the last adjustment window violated the delay target.
+        self.last_violation = False
         #: Sum of service-time estimates, for delay decomposition.
         self._service_estimate = 0.005
+        self._window_source = LatencyWindowSource(
+            env, horizon=1.0, percentile=99
+        )
+        self.pipeline = ControlPipeline(
+            env,
+            period=adjust_period,
+            sources=[self._window_source],
+            action=BreakwaterCreditAction(self),
+        )
+
+    @property
+    def window(self):
+        """The completion window (owned by the pipeline's signal source)."""
+        return self._window_source.window
 
     # ------------------------------------------------------------------
     # Credit pool adjustment (AIMD on queueing delay)
     # ------------------------------------------------------------------
     def observe_completion(self, record: "RequestRecord") -> None:
-        if record.completed:
-            self.window.observe(record.finish_time, record.latency)
+        self.pipeline.observe_completion(record)
 
     def _queueing_delay(self) -> float:
         """Observed delay in excess of the service-time estimate."""
@@ -81,22 +128,7 @@ class Breakwater(BaseController):
         return max(0.0, mean - self._service_estimate)
 
     def start(self) -> None:
-        self.env.process(self._adjust_loop())
-
-    def _adjust_loop(self):
-        while True:
-            yield self.env.timeout(self.adjust_period)
-            delay = self._queueing_delay()
-            if delay > self.target_delay:
-                self.credits = max(
-                    float(self.min_credits),
-                    self.credits * self.multiplicative_decrease,
-                )
-            else:
-                self.credits = min(
-                    float(self.max_credits),
-                    self.credits + self.additive_increase,
-                )
+        self.pipeline.start()
 
     # ------------------------------------------------------------------
     # Admission
@@ -117,3 +149,15 @@ class Breakwater(BaseController):
         if id(task) in self.tasks:
             self.inflight = max(0, self.inflight - 1)
         super().free_cancel(task)
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        snap = super().telemetry_snapshot()
+        detector = self._window_source.telemetry_snapshot()
+        detector["overloaded"] = 1.0 if self.last_violation else 0.0
+        snap["detector"] = detector
+        snap["admission"] = {
+            "credits": self.credits,
+            "inflight": self.inflight,
+            "rejections": self.rejections,
+        }
+        return snap

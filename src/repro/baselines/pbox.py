@@ -6,22 +6,54 @@ traces per-request resource usage, detects interference, and *penalizes*
 request.  §2.2's critique: a throttled culprit still holds what it
 already acquired, so severe overload caused by held resources is not
 fully recovered.
+
+Pipeline composition: a :class:`UsageWindowSource` owns the usage-ledger
+window roll and :class:`PenaltyAction` performs the per-window
+interference check.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from ..core.config import AtroposConfig
 from ..core.controller import BaseController
 from ..core.estimator import Estimator
+from ..core.pipeline import ActionPolicy, ControlPipeline, SignalSource
 from ..core.runtime import RuntimeManager
 from ..core.task import CancellableTask
-from ..core.types import ResourceHandle
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
     from ..sim.metrics import RequestRecord
+
+
+class UsageWindowSource(SignalSource):
+    """Bookkeeping source: rolls the runtime usage window each tick."""
+
+    name = "usage-window"
+
+    def __init__(self, runtime: RuntimeManager) -> None:
+        self.runtime = runtime
+
+    def sample(self, now: float, signals: Dict[str, Any]) -> None:
+        """No per-window signal: pBox's estimator reads the ledger
+        directly inside the action stage."""
+
+    def roll(self, now: float) -> None:
+        self.runtime.roll_window()
+
+
+class PenaltyAction(ActionPolicy):
+    """Penalize the top consumer of each overloaded resource."""
+
+    name = "pbox-penalty"
+
+    def __init__(self, controller: "PBox") -> None:
+        self.controller = controller
+
+    def act(self, now: float, signals: Dict[str, Any]) -> None:
+        self.controller._maybe_penalize()
 
 
 class PBox(BaseController):
@@ -59,6 +91,12 @@ class PBox(BaseController):
         #: task-id -> penalty expiry time.
         self._penalized: Dict[int, float] = {}
         self.penalties_issued = 0
+        self.pipeline = ControlPipeline(
+            env,
+            period=detection_period,
+            sources=[UsageWindowSource(self.runtime)],
+            action=PenaltyAction(self),
+        )
 
     # ------------------------------------------------------------------
     # Tracing (delegated to the runtime manager)
@@ -104,13 +142,7 @@ class PBox(BaseController):
         return self.penalty_delay
 
     def start(self) -> None:
-        self.env.process(self._monitor_loop())
-
-    def _monitor_loop(self):
-        while True:
-            yield self.env.timeout(self.config.detection_period)
-            self._maybe_penalize()
-            self.runtime.roll_window()
+        self.pipeline.start()
 
     def _maybe_penalize(self) -> None:
         assessment = self.estimator.assess(
@@ -136,3 +168,11 @@ class PBox(BaseController):
                 self._penalized[id(best)] = (
                     self.env.now + self.penalty_duration
                 )
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        snap = super().telemetry_snapshot()
+        snap["penalties"] = {
+            "issued": self.penalties_issued,
+            "active": len(self._penalized),
+        }
+        return snap

@@ -7,18 +7,76 @@ the culprit holding the resource -- the limitation §2.2 demonstrates:
 tail latency is bounded, but throughput craters and the drop rate is
 high, and cases whose bottleneck is a non-waitable resource (memory
 thrash, GC) are not helped at all.
+
+Pipeline composition: :class:`BlockingDelaySource` scans the open waits
+and publishes the over-budget victims as a signal;
+:class:`VictimDropAction` delivers the drops.  The split mirrors the
+other controllers: observation produces evidence, the action consumes
+it.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Tuple
 
 from ..core.controller import BaseController
+from ..core.pipeline import ActionPolicy, ControlPipeline, SignalSource
 from ..core.task import CancellableTask
 from ..core.types import DropSignal, ResourceHandle, ResourceType, TaskKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
+
+
+class BlockingDelaySource(SignalSource):
+    """Scans blocked requests for accumulated wait over budget.
+
+    Publishes ``blocked_victims``: the ``(task, resource)`` pairs whose
+    blocking delay exceeds the drop threshold, in wait-start order.
+    """
+
+    name = "blocking-delay"
+
+    def __init__(self, controller: "Protego") -> None:
+        self.controller = controller
+
+    def sample(self, now: float, signals: Dict[str, Any]) -> None:
+        c = self.controller
+        victims = []
+        for (task_id, resource), start in list(c._open_waits.items()):
+            task = c.tasks.get(task_id)
+            if task is None or not task.alive:
+                continue
+            if task.kind is TaskKind.BACKGROUND:
+                continue
+            if c.blocking_delay(task) > c.drop_threshold:
+                victims.append((task, resource))
+        signals["blocked_victims"] = victims
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        return {"open_waits": len(self.controller._open_waits)}
+
+
+class VictimDropAction(ActionPolicy):
+    """Aborts the over-budget waiting victims found this window."""
+
+    name = "protego-drop"
+
+    def __init__(self, controller: "Protego") -> None:
+        self.controller = controller
+
+    def act(self, now: float, signals: Dict[str, Any]) -> None:
+        c = self.controller
+        for task, resource in signals.get("blocked_victims", ()):
+            if task.process is not None and task.process.is_alive:
+                c.drops_issued += 1
+                task.process.interrupt(
+                    DropSignal(
+                        reason="lock-wait-over-budget",
+                        resource=resource,
+                        decided_at=now,
+                    )
+                )
 
 
 class Protego(BaseController):
@@ -49,6 +107,12 @@ class Protego(BaseController):
         #: (task-id, resource) -> open wait start time.
         self._open_waits: Dict[Tuple[int, ResourceHandle], float] = {}
         self.drops_issued = 0
+        self.pipeline = ControlPipeline(
+            env,
+            period=monitor_period,
+            sources=[BlockingDelaySource(self)],
+            action=VictimDropAction(self),
+        )
 
     # ------------------------------------------------------------------
     # Wait tracking
@@ -121,30 +185,12 @@ class Protego(BaseController):
         return self.blocking_delay(task) > self.drop_threshold
 
     def start(self) -> None:
-        self.env.process(self._monitor_loop())
+        self.pipeline.start()
 
-    def _monitor_loop(self):
-        """Scan blocked requests; waiting victims cannot reach an
-        application checkpoint, so Protego aborts them directly."""
-        while True:
-            yield self.env.timeout(self.monitor_period)
-            now = self.env.now
-            victims = []
-            for (task_id, resource), start in list(self._open_waits.items()):
-                task = self.tasks.get(task_id)
-                if task is None or not task.alive:
-                    continue
-                if task.kind is TaskKind.BACKGROUND:
-                    continue
-                if self.blocking_delay(task) > self.drop_threshold:
-                    victims.append((task, resource))
-            for task, resource in victims:
-                if task.process is not None and task.process.is_alive:
-                    self.drops_issued += 1
-                    task.process.interrupt(
-                        DropSignal(
-                            reason="lock-wait-over-budget",
-                            resource=resource,
-                            decided_at=now,
-                        )
-                    )
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        snap = super().telemetry_snapshot()
+        snap["drops"] = {
+            "issued": self.drops_issued,
+            "open_waits": len(self._open_waits),
+        }
+        return snap

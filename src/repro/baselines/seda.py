@@ -5,18 +5,42 @@ limiter at admission driven by observed tail latency.  It protects the
 system from *demand* overload but is indiscriminate -- it cannot tell
 culprit from victim, so under application resource overload it sheds
 load across the board.
+
+Pipeline composition: a shared
+:class:`~repro.core.pipeline.LatencyWindowSource` produces the window
+statistics and :class:`SedaRateAction` applies the AIMD update, the same
+signal -> action split every controller in this repo uses.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict
 
 from ..core.controller import BaseController
-from ..sim.metrics import SlidingWindow
+from ..core.pipeline import ActionPolicy, ControlPipeline, LatencyWindowSource
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
     from ..sim.metrics import RequestRecord
+
+
+class SedaRateAction(ActionPolicy):
+    """AIMD update of the admission rate keyed on the window tail."""
+
+    name = "seda-aimd"
+
+    def __init__(self, controller: "Seda") -> None:
+        self.controller = controller
+
+    def act(self, now: float, signals: Dict[str, Any]) -> None:
+        c = self.controller
+        tail = signals.get("tail_latency", float("nan"))
+        violated = tail == tail and tail > c.slo_latency  # nan-safe
+        c.last_violation = violated
+        if violated:
+            c.rate = max(c.min_rate, c.rate * c.multiplicative_decrease)
+        else:
+            c.rate += c.additive_increase
 
 
 class Seda(BaseController):
@@ -41,10 +65,25 @@ class Seda(BaseController):
         self.min_rate = min_rate
         self.additive_increase = additive_increase
         self.multiplicative_decrease = multiplicative_decrease
-        self.window = SlidingWindow(horizon=1.0)
         self._tokens = initial_rate * adjust_period
         self._last_refill = env.now
         self.rejections = 0
+        #: Whether the last adjustment window violated the SLO.
+        self.last_violation = False
+        self._window_source = LatencyWindowSource(
+            env, horizon=1.0, percentile=99
+        )
+        self.pipeline = ControlPipeline(
+            env,
+            period=adjust_period,
+            sources=[self._window_source],
+            action=SedaRateAction(self),
+        )
+
+    @property
+    def window(self):
+        """The completion window (owned by the pipeline's signal source)."""
+        return self._window_source.window
 
     def _refill(self) -> None:
         now = self.env.now
@@ -63,19 +102,19 @@ class Seda(BaseController):
         return False
 
     def observe_completion(self, record: "RequestRecord") -> None:
-        if record.completed:
-            self.window.observe(record.finish_time, record.latency)
+        self.pipeline.observe_completion(record)
 
     def start(self) -> None:
-        self.env.process(self._adjust_loop())
+        self.pipeline.start()
 
-    def _adjust_loop(self):
-        while True:
-            yield self.env.timeout(self.adjust_period)
-            tail = self.window.latency_percentile(self.env.now, 99)
-            if tail == tail and tail > self.slo_latency:  # nan-safe
-                self.rate = max(
-                    self.min_rate, self.rate * self.multiplicative_decrease
-                )
-            else:
-                self.rate += self.additive_increase
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        snap = super().telemetry_snapshot()
+        detector = self._window_source.telemetry_snapshot()
+        detector["overloaded"] = 1.0 if self.last_violation else 0.0
+        snap["detector"] = detector
+        snap["admission"] = {
+            "rate": self.rate,
+            "tokens": self._tokens,
+            "rejections": self.rejections,
+        }
+        return snap

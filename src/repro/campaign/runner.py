@@ -52,6 +52,11 @@ class ResolvedSettings:
     jobs: int = 1
     cache: bool = True
     cache_dir: Path = Path(".repro-cache")
+    #: Force every spec in the batch to run with health-driven adaptive
+    #: thresholds (the CLI ``--adaptive`` flag).  Specs are rewritten
+    #: before cache lookup, so fixed and adaptive runs never share an
+    #: entry.
+    adaptive: bool = False
 
 
 _OVERLAYS: List[Dict[str, Any]] = []
@@ -62,6 +67,7 @@ def settings(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[os.PathLike] = None,
+    adaptive: Optional[bool] = None,
 ):
     """Scope campaign settings; None leaves the outer value in place::
 
@@ -69,7 +75,8 @@ def settings(
             run_experiments(["fig2"])
     """
     _OVERLAYS.append(
-        {"jobs": jobs, "cache": cache, "cache_dir": cache_dir}
+        {"jobs": jobs, "cache": cache, "cache_dir": cache_dir,
+         "adaptive": adaptive}
     )
     try:
         yield
@@ -81,6 +88,7 @@ def current_settings(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[os.PathLike] = None,
+    adaptive: Optional[bool] = None,
 ) -> ResolvedSettings:
     """Resolve settings: explicit args > overlays > environment > defaults."""
 
@@ -103,8 +111,10 @@ def current_settings(
     cache_dir = pick("cache_dir", cache_dir)
     if cache_dir is None:
         cache_dir = default_cache_dir()
+    adaptive = pick("adaptive", adaptive)
     return ResolvedSettings(
-        jobs=max(1, int(jobs)), cache=bool(cache), cache_dir=Path(cache_dir)
+        jobs=max(1, int(jobs)), cache=bool(cache), cache_dir=Path(cache_dir),
+        adaptive=bool(adaptive),
     )
 
 
@@ -158,7 +168,12 @@ def _execute_one(spec: RunSpec, label: Optional[str] = None) -> Dict[str, Any]:
     """Build and run one spec in this process; returns its payload."""
     load_all_families()
     started = time.perf_counter()
-    build = resolve_sim(spec.family)(dict(spec.params))
+    params = dict(spec.params)
+    if spec.adaptive:
+        # The adaptive flag lives on the spec (cache identity), not in
+        # the stored params; builders see it as a transient param.
+        params["adaptive"] = True
+    build = resolve_sim(spec.family)(params)
     duration = spec.duration if spec.duration is not None else build.duration
     warmup = spec.warmup if spec.warmup is not None else build.warmup
     fault_plan = None
@@ -232,6 +247,10 @@ def execute(
     if not specs:
         return []
     cfg = current_settings(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    if cfg.adaptive:
+        # --adaptive rewrites the whole batch before key computation:
+        # the flag is part of each spec's cache identity.
+        specs = [replace(spec, adaptive=True) for spec in specs]
     load_all_families()
     tracer = get_active_tracer()
     traced = bool(getattr(tracer, "enabled", False))

@@ -34,7 +34,9 @@ from ..sim.metrics import Summary
 #: 3: extras may gain health_events / telemetry fields
 #: (repro.telemetry), and the windowing convention behind the cached
 #: fault timeline moved to the shared ceil-based helper.
-CACHE_SCHEMA = 3
+#: 4: RunSpec grew the ``adaptive`` identity field (health-driven
+#: adaptive thresholds) and extras may gain adaptations / adapt_events.
+CACHE_SCHEMA = 4
 
 #: Modules whose import populates the sim-builder registry.  Worker
 #: processes (and cold parents) import these before resolving families;
@@ -110,6 +112,10 @@ class RunSpec:
         faults: optional :meth:`repro.faults.FaultPlan.to_dict` payload
             injected into the run; part of the cache identity (a faulted
             run must never share a cache entry with its clean twin).
+        adaptive: run the controller with health-driven adaptive
+            thresholds (``AtroposConfig.adaptive_thresholds``).  Part of
+            the cache identity: fixed and adaptive twins of the same
+            case must never share a cache entry.
     """
 
     experiment: str
@@ -119,6 +125,7 @@ class RunSpec:
     duration: Optional[float] = None
     warmup: Optional[float] = None
     faults: Optional[Dict[str, Any]] = None
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _canonical_params(self.params))
@@ -139,6 +146,7 @@ class RunSpec:
             "duration": self.duration,
             "warmup": self.warmup,
             "faults": self.faults,
+            "adaptive": self.adaptive,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -154,6 +162,7 @@ class RunSpec:
             duration=data.get("duration"),
             warmup=data.get("warmup"),
             faults=data.get("faults"),
+            adaptive=data.get("adaptive", False),
         )
 
     def cache_key(self) -> str:
@@ -206,6 +215,11 @@ class RunOutcome:
     @property
     def cancels(self) -> int:
         return int(self.extras.get("cancels_issued", 0))
+
+    @property
+    def adaptations(self) -> int:
+        """Threshold moves made by the adaptive policy (0 when fixed)."""
+        return int(self.extras.get("adaptations", 0))
 
     @property
     def first_cancelled_op(self) -> Optional[str]:

@@ -7,15 +7,22 @@ Public API (mirrors the paper's Figure 6 integration surface):
 * resource tracing -- ``controller.get_resource`` / ``free_resource`` /
   ``slow_by_resource`` with a :class:`ResourceType`;
 * the :class:`Atropos` controller itself, plus the policy ablations and
-  the :class:`NullController` used as the uncontrolled baseline.
+  the :class:`NullController` used as the uncontrolled baseline;
+* the control-plane pipeline primitives -- :class:`ControlPipeline`
+  composing :class:`SignalSource` / :class:`AdaptationPolicy` /
+  :class:`ActionPolicy` stages -- that every controller's periodic loop
+  is built from, and the health-driven
+  :class:`AdaptiveThresholdPolicy` closing the loop on the detector's
+  live thresholds.
 """
 
-from .atropos import Atropos
+from .adaptive import AdaptiveThresholdPolicy, HealthSignalSource
+from .atropos import Atropos, CancellationAction, DetectorSignalSource
 from .cancellation import CancellationEvent, CancellationManager
 from .config import AtroposConfig
 from .controller import BaseController, NullController
 from .decision_log import DecisionEvent, DecisionKind, DecisionLog
-from .detector import DetectionSample, OverloadDetector
+from .detector import DetectionSample, LiveThresholds, OverloadDetector
 from .estimator import (
     Estimator,
     OverloadAssessment,
@@ -23,6 +30,14 @@ from .estimator import (
     TaskReport,
 )
 from .ledger import UsageLedger, UsageStats
+from .pipeline import (
+    ActionPolicy,
+    AdaptationPolicy,
+    ControlPipeline,
+    LatencyWindowSource,
+    NoAdaptation,
+    SignalSource,
+)
 from .policy import (
     CancellationPolicy,
     CurrentUsagePolicy,
@@ -51,25 +66,35 @@ from .types import (
 )
 
 __all__ = [
+    "ActionPolicy",
+    "AdaptationPolicy",
+    "AdaptiveThresholdPolicy",
     "Atropos",
     "AtroposConfig",
     "BaseController",
     "CallbackProgress",
     "CancelSignal",
     "CancellableTask",
+    "CancellationAction",
     "CancellationEvent",
     "CancellationManager",
     "CancellationPolicy",
+    "ControlPipeline",
     "CurrentUsagePolicy",
     "DecisionEvent",
     "DecisionKind",
     "DecisionLog",
     "DetectionSample",
+    "DetectorSignalSource",
     "DropRequest",
     "Estimator",
     "GetNextProgress",
     "GreedyHeuristicPolicy",
+    "HealthSignalSource",
+    "LatencyWindowSource",
+    "LiveThresholds",
     "MultiObjectivePolicy",
+    "NoAdaptation",
     "NullController",
     "OverloadAssessment",
     "OverloadDetector",
@@ -78,6 +103,7 @@ __all__ = [
     "ResourceReport",
     "ResourceType",
     "RuntimeManager",
+    "SignalSource",
     "TaskKind",
     "TaskReport",
     "TaskState",

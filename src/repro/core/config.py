@@ -100,6 +100,113 @@ class AtroposConfig:
         default_factory=dict
     )
 
+    #: Opt-in health-driven adaptive thresholds: the controller consumes
+    #: its own health-event stream (detector-flapping, p99-ceiling) and
+    #: moves the *live* detection window / tail trigger between windows.
+    #: Off by default; fixed-threshold runs are bit-identical to the
+    #: pre-adaptive controller.
+    adaptive_thresholds: bool = False
+    #: Multiplier applied to the live detection window each window in
+    #: which detector-flapping fires (a noisy trigger wants more
+    #: evidence).
+    adapt_window_widen_factor: float = 1.5
+    #: Cap on the widened window, as a multiple of ``detection_window``.
+    adapt_max_window_multiple: float = 4.0
+    #: Subtracted from the live ``slo_slack`` after sustained p99-ceiling
+    #: violations (tighten the tail trigger; react earlier).
+    adapt_slack_tighten_step: float = 0.05
+    #: Floor of the live ``slo_slack`` (never trigger below the SLO
+    #: itself).
+    adapt_min_slack: float = 1.0
+    #: Consecutive p99-ceiling windows required before tightening.
+    adapt_p99_sustain: int = 3
+    #: Consecutive healthy windows before one recovery step back toward
+    #: the configured baselines.
+    adapt_recovery_windows: int = 20
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical configurations at construction time.
+
+        A zero detection window or negative SLO used to surface as NaN
+        percentiles or a never-firing detector deep inside a run; fail
+        fast with every violated constraint named instead.
+        """
+        problems = []
+
+        def positive(name):
+            if getattr(self, name) <= 0:
+                problems.append(
+                    f"{name} must be > 0 (got {getattr(self, name)!r})"
+                )
+
+        def non_negative(name):
+            if getattr(self, name) < 0:
+                problems.append(
+                    f"{name} must be >= 0 (got {getattr(self, name)!r})"
+                )
+
+        for name in (
+            "slo_latency",
+            "slo_slack",
+            "detection_period",
+            "detection_window",
+            "contention_threshold",
+            "cancel_cooldown",
+            "reexec_check_period",
+            "timestamp_sample_interval",
+            "adapt_min_slack",
+        ):
+            positive(name)
+        for name in (
+            "flat_throughput_margin",
+            "min_cancel_age",
+            "culprit_gain_slo_multiple",
+            "gain_skew_threshold",
+            "reexec_stability_window",
+            "reexec_slo_multiple",
+            "background_reexec_delay",
+            "background_max_wait",
+            "coarse_trace_cost",
+            "fine_trace_cost",
+            "adapt_slack_tighten_step",
+        ):
+            non_negative(name)
+        if not 0 < self.latency_percentile <= 100:
+            problems.append(
+                "latency_percentile must be in (0, 100] "
+                f"(got {self.latency_percentile!r})"
+            )
+        if self.min_window_samples < 1:
+            problems.append(
+                "min_window_samples must be >= 1 "
+                f"(got {self.min_window_samples!r})"
+            )
+        for name in ("adapt_window_widen_factor", "adapt_max_window_multiple"):
+            if getattr(self, name) < 1.0:
+                problems.append(
+                    f"{name} must be >= 1 (got {getattr(self, name)!r})"
+                )
+        for name in ("adapt_p99_sustain", "adapt_recovery_windows"):
+            if getattr(self, name) < 1:
+                problems.append(
+                    f"{name} must be >= 1 (got {getattr(self, name)!r})"
+                )
+        for resource, value in sorted(
+            self.contention_threshold_overrides.items()
+        ):
+            if value <= 0:
+                problems.append(
+                    f"contention_threshold_overrides[{resource!r}] must be "
+                    f"> 0 (got {value!r})"
+                )
+        if problems:
+            raise ValueError(
+                "invalid AtroposConfig: " + "; ".join(problems)
+            )
+
     def threshold_for(self, resource_name: str) -> float:
         return self.contention_threshold_overrides.get(
             resource_name, self.contention_threshold

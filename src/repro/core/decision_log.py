@@ -43,6 +43,10 @@ class DecisionKind(enum.Enum):
     #: A telemetry health rule fired (:mod:`repro.telemetry.health`);
     #: correlates SLO violations with the decisions around them.
     HEALTH = "health"
+    #: An :class:`~repro.core.adaptive.AdaptiveThresholdPolicy` moved a
+    #: live detector threshold (window widened on flapping, tail trigger
+    #: tightened after sustained p99 violations, or a recovery step).
+    ADAPT = "adapt"
 
 
 @dataclass

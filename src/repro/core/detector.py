@@ -41,6 +41,20 @@ class DetectionSample:
     overloaded: bool
 
 
+@dataclass
+class LiveThresholds:
+    """Detector thresholds an :class:`~repro.core.pipeline.
+    AdaptationPolicy` may move at runtime.
+
+    Initialized from the static :class:`AtroposConfig` values; under
+    fixed thresholds (the default) they never change, so the detector
+    behaves exactly as it did before thresholds became live.
+    """
+
+    slo_slack: float
+    detection_window: float
+
+
 class OverloadDetector:
     """Latency-over-SLO + flat-throughput detector.
 
@@ -52,6 +66,12 @@ class OverloadDetector:
     def __init__(self, env: "Environment", config: AtroposConfig) -> None:
         self.env = env
         self.config = config
+        #: Live (adaptable) thresholds; equal to the config until an
+        #: adaptation policy moves them.
+        self.live = LiveThresholds(
+            slo_slack=config.slo_slack,
+            detection_window=config.detection_window,
+        )
         self.window = SlidingWindow(horizon=config.detection_window)
         #: Signal-corruption tap installed by :mod:`repro.faults`.
         self.fault_tap = None
@@ -89,7 +109,20 @@ class OverloadDetector:
     # Checking
     # ------------------------------------------------------------------
     def latency_limit(self) -> float:
-        return self.config.slo_latency * self.config.slo_slack
+        return self.config.slo_latency * self.live.slo_slack
+
+    def set_detection_window(self, seconds: float) -> None:
+        """Move the live detection window (adaptation hook).
+
+        Also resizes the completion window's horizon; shrinking evicts
+        immediately, widening simply lets the window fill further.
+        """
+        self.live.detection_window = seconds
+        self.window.horizon = seconds
+
+    def set_slo_slack(self, slack: float) -> None:
+        """Move the live tail-latency trigger (adaptation hook)."""
+        self.live.slo_slack = slack
 
     def _reference_throughput(self, now: float) -> Optional[float]:
         """Throughput observed roughly a detection window ago."""
@@ -132,7 +165,7 @@ class OverloadDetector:
                 throughput_flat = growth < cfg.flat_throughput_margin
             overloaded = throughput_flat
         self._throughput_history.append((now, throughput))
-        cutoff = now - cfg.detection_window
+        cutoff = now - self.live.detection_window
         while (
             len(self._throughput_history) > 1
             and self._throughput_history[0][0] < cutoff

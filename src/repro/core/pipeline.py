@@ -1,0 +1,209 @@
+"""The composable control-plane pipeline: signals -> adaptation -> action.
+
+Every overload controller in this repo -- ATROPOS and all six baselines
+-- runs the same periodic loop: *observe* some signals about the system,
+optionally *adapt* its own thresholds, then *act* (cancel, drop,
+throttle, resize an admission pool).  This module makes that loop an
+explicit pipeline of three pluggable stage kinds, composed by a
+:class:`ControlPipeline` that owns the single monitor process:
+
+* :class:`SignalSource` -- produces the window's observations into a
+  shared signal map (detector samples, latency-window statistics,
+  health events, blocking-delay scans).  Sources are sampled in list
+  order, so a later source may consume what an earlier one produced
+  (the health source reads the detector source's values).
+* :class:`AdaptationPolicy` -- the slow, between-window control layer:
+  adjusts live thresholds derived from the static config.  The default
+  :class:`NoAdaptation` keeps every threshold fixed, which preserves the
+  historical behaviour bit-for-bit.
+* :class:`ActionPolicy` -- the fast per-window decision: blame +
+  cancellation for ATROPOS, an AIMD rate/credit update for SEDA and
+  Breakwater, victim drops for Protego, penalties for pBox, worker
+  reservation (a bind-time action) for DARC.
+
+The tick order is **sample -> adapt -> act -> roll**: an adaptation
+reads the window that just closed and moves thresholds for the *next*
+window, mirroring the bi-level designs of Autothrottle and DAGOR where
+slow target tuning sits above the fast per-window controller.
+
+None of the stage calls touches the event queue -- only the pipeline's
+own ``timeout(period)`` does -- so restructuring a controller onto the
+pipeline cannot perturb simulation scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional
+
+from ..sim.metrics import SlidingWindow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+
+class SignalSource:
+    """One producer of per-window observations.
+
+    Subclasses override :meth:`sample`; the completion feed and the
+    end-of-tick :meth:`roll` hook are optional.
+    """
+
+    name = "signal"
+
+    def observe_completion(self, record: "RequestRecord") -> None:
+        """Feedback hook: a request reached a terminal state."""
+
+    def sample(self, now: float, signals: Dict[str, Any]) -> None:
+        """Write this window's observations into ``signals``.
+
+        Sources run in pipeline order and share one map, so keys written
+        by earlier sources are readable here.
+        """
+        raise NotImplementedError
+
+    def roll(self, now: float) -> None:
+        """End-of-tick bookkeeping (e.g. roll a usage ledger window)."""
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """Scrape-friendly view of this source's latest state."""
+        return {}
+
+
+class AdaptationPolicy:
+    """Between-window adjustment of live thresholds (the slow loop)."""
+
+    name = "adaptation"
+
+    def adapt(self, now: float, signals: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+
+class NoAdaptation(AdaptationPolicy):
+    """Fixed thresholds: the default, and the historical behaviour."""
+
+    name = "fixed"
+
+    def adapt(self, now: float, signals: Dict[str, Any]) -> None:
+        return None
+
+
+class ActionPolicy:
+    """The per-window control action (the fast loop)."""
+
+    name = "action"
+
+    def bind(self, app) -> None:
+        """One-time configuration against the application (DARC)."""
+
+    def act(self, now: float, signals: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+
+class ControlPipeline:
+    """One periodic monitor process running sample -> adapt -> act -> roll.
+
+    Args:
+        env: simulation environment.
+        period: seconds between ticks; ``None`` means the pipeline has no
+            periodic loop at all (a bind-time-only controller like DARC).
+        sources: signal sources, sampled in order each tick.
+        adaptation: threshold adaptation stage (default: fixed).
+        action: the control action stage (optional).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        period: Optional[float],
+        sources: Iterable[SignalSource] = (),
+        adaptation: Optional[AdaptationPolicy] = None,
+        action: Optional[ActionPolicy] = None,
+    ) -> None:
+        self.env = env
+        self.period = period
+        self.sources = list(sources)
+        self.adaptation = adaptation or NoAdaptation()
+        self.action = action
+        #: The signal map produced by the most recent tick (telemetry).
+        self.last_signals: Dict[str, Any] = {}
+        self._started = False
+
+    def bind(self, app) -> None:
+        if self.action is not None:
+            self.action.bind(app)
+
+    def observe_completion(self, record: "RequestRecord") -> None:
+        for source in self.sources:
+            source.observe_completion(record)
+
+    def start(self) -> None:
+        """Launch the monitor process (idempotent; no-op without a period)."""
+        if self._started or self.period is None:
+            return
+        self._started = True
+        self.env.process(self._loop())
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.period)
+            self.tick()
+
+    def tick(self) -> Dict[str, Any]:
+        """Run one full pipeline pass at the current simulated time."""
+        now = self.env.now
+        signals: Dict[str, Any] = {}
+        for source in self.sources:
+            source.sample(now, signals)
+        self.adaptation.adapt(now, signals)
+        if self.action is not None:
+            self.action.act(now, signals)
+        for source in self.sources:
+            source.roll(now)
+        self.last_signals = signals
+        return signals
+
+
+class LatencyWindowSource(SignalSource):
+    """Shared sliding-window completion statistics.
+
+    The bookkeeping SEDA, Breakwater, and PARTIES each re-implemented:
+    feed completed requests into a :class:`SlidingWindow` and expose the
+    window's throughput, sample count, mean, and tail percentile as
+    signals (``throughput``, ``samples``, ``mean_latency``,
+    ``tail_latency``).
+    """
+
+    name = "latency-window"
+
+    def __init__(
+        self,
+        env: "Environment",
+        horizon: float = 1.0,
+        percentile: float = 99,
+    ) -> None:
+        self.env = env
+        self.percentile = percentile
+        self.window = SlidingWindow(horizon=horizon)
+
+    def observe_completion(self, record: "RequestRecord") -> None:
+        if record.completed:
+            self.window.observe(record.finish_time, record.latency)
+
+    def sample(self, now: float, signals: Dict[str, Any]) -> None:
+        signals["throughput"] = self.window.throughput(now)
+        signals["samples"] = self.window.count(now)
+        signals["mean_latency"] = self.window.mean_latency(now)
+        signals["tail_latency"] = self.window.latency_percentile(
+            now, self.percentile
+        )
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        now = self.env.now
+        return {
+            "throughput": self.window.throughput(now),
+            "samples": self.window.count(now),
+            "tail_latency": self.window.latency_percentile(
+                now, self.percentile
+            ),
+        }

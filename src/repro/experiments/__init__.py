@@ -18,9 +18,11 @@ table3    integration effort
 ========  ====================================================
 
 Beyond the paper's artifacts, ``resilience`` runs the chaos matrix
-(fault kind x intensity via :mod:`repro.faults`); it is opt-in --
-``repro faults matrix`` or ``repro run resilience`` -- and not part of
-the default ``repro run`` order.
+(fault kind x intensity via :mod:`repro.faults`) and
+``ablate-adaptive`` compares fixed vs health-driven adaptive thresholds
+(:mod:`repro.core.adaptive`).  Both are opt-in -- ``repro faults
+matrix`` / ``repro ablate-adaptive`` or ``repro run <id>`` -- and not
+part of the default ``repro run`` order.
 """
 
 from importlib import import_module
@@ -45,6 +47,7 @@ _EXPERIMENT_RUNNERS = {
     "table2": ("table_experiments", "run_table2"),
     "table3": ("table_experiments", "run_table3"),
     "resilience": ("resilience", "run"),
+    "ablate-adaptive": ("ablate_adaptive", "run"),
 }
 
 

@@ -24,6 +24,12 @@ Recognized params (all JSON-able):
     Extra :class:`~repro.core.config.AtroposConfig` fields merged over
     the case's own overrides; presence of the key selects the direct
     ATROPOS build path (fig12's ``slo_slack``, the ablation knobs).
+``adaptive``
+    Transient param injected by the campaign runner when
+    ``RunSpec.adaptive`` is set (never stored in spec params): builds
+    the ATROPOS variants with health-driven adaptive thresholds
+    (``AtroposConfig.adaptive_thresholds=True``).  Ignored by
+    non-ATROPOS systems and uncontrolled runs.
 """
 
 from __future__ import annotations
@@ -63,11 +69,14 @@ def build_case(params: Dict[str, Any]) -> SimBuild:
     system = params.get("system")
     policy_id = params.get("policy")
     slo_latency = params.get("slo_latency", case.slo_latency)
+    adaptive = bool(params.get("adaptive", False))
 
     factory = None
     if policy_id is not None or "atropos_overrides" in params:
         merged = dict(case.atropos_overrides)
         merged.update(params.get("atropos_overrides") or {})
+        if adaptive:
+            merged["adaptive_thresholds"] = True
         policy_cls = _policy_class(policy_id) if policy_id else None
 
         def factory(env):
@@ -81,8 +90,11 @@ def build_case(params: Dict[str, Any]) -> SimBuild:
             )
 
     elif system is not None:
+        overrides = dict(case.atropos_overrides)
+        if adaptive and system == "atropos":
+            overrides["adaptive_thresholds"] = True
         factory = controller_factory(
-            system, slo_latency, atropos_overrides=case.atropos_overrides
+            system, slo_latency, atropos_overrides=overrides
         )
 
     def workload(app, rng):
@@ -98,7 +110,12 @@ def build_case(params: Dict[str, Any]) -> SimBuild:
 
 
 def case_spec(
-    experiment: str, case_id: str, seed: int = 0, faults=None, **params
+    experiment: str,
+    case_id: str,
+    seed: int = 0,
+    faults=None,
+    adaptive: bool = False,
+    **params,
 ) -> "RunSpec":
     """Convenience constructor for ``case`` RunSpecs.
 
@@ -106,6 +123,8 @@ def case_spec(
     runs hash identically across experiments (shared cache entries).
     ``faults`` may be a :class:`repro.faults.FaultPlan` or its
     ``to_dict()`` payload; empty plans are treated as no faults.
+    ``adaptive`` turns on health-driven adaptive thresholds for the
+    ATROPOS variants (a RunSpec identity field, not a stored param).
     """
     from ..campaign.spec import RunSpec
 
@@ -126,4 +145,5 @@ def case_spec(
         params=clean,
         seed=seed,
         faults=faults,
+        adaptive=adaptive,
     )

@@ -284,6 +284,10 @@ def extract_extras(result: RunResult) -> Dict[str, Any]:
     extras["cancel_signals_dropped"] = int(
         getattr(cancellation, "dropped_signals", 0)
     )
+    adaptation = getattr(controller, "adaptation", None)
+    if getattr(adaptation, "adaptations", 0):
+        extras["adaptations"] = int(adaptation.adaptations)
+        extras["adapt_events"] = list(adaptation.adapt_events)
     ops: Dict[str, Any] = {}
     for record in result.trimmed_collector.records:
         if not record.completed:

@@ -34,7 +34,7 @@ def run_experiments(
         started = time.time()
         runner = ALL_EXPERIMENTS[exp_id]
         kwargs = {"quick": quick}
-        if exp_id.startswith("fig"):
+        if exp_id.startswith(("fig", "ablate")):
             kwargs["seed"] = seed
         results[exp_id] = runner(**kwargs)
         if progress is not None:

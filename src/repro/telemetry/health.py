@@ -119,6 +119,31 @@ def default_health_rules(
     return rules
 
 
+def adaptation_rules(slo: Optional[float] = None) -> List[HealthRule]:
+    """The rule subset the adaptive controller mode evaluates in-loop.
+
+    :class:`repro.core.adaptive.AdaptiveThresholdPolicy` runs its own
+    :class:`HealthMonitor` over the detector's windows (one evaluation
+    per detection period, independent of any telemetry session), using
+    the same rule engine and the same parameters as the scraper's
+    defaults: detector-flapping always, p99-ceiling at ``5 x SLO``.
+    """
+    rules = [
+        HealthRule(
+            name="detector-flapping", kind="detector-flapping",
+            params={"transitions": 3, "lookback": 8},
+        ),
+    ]
+    if slo is not None:
+        rules.append(
+            HealthRule(
+                name="p99-ceiling", kind="p99-ceiling", severity="critical",
+                params={"limit": 5.0 * slo, "min_samples": 3},
+            )
+        )
+    return rules
+
+
 class HealthMonitor:
     """Evaluates rules against successive scrape windows.
 

@@ -45,6 +45,23 @@ class TestRunSpec:
         assert clone == spec
         assert clone.cache_key() == spec.cache_key()
 
+    def test_adaptive_is_part_of_the_identity(self):
+        fixed = RunSpec("e", "f", {"x": 1})
+        adaptive = RunSpec("e", "f", {"x": 1}, adaptive=True)
+        assert fixed.identity() != adaptive.identity()
+        assert fixed.cache_key() != adaptive.cache_key()
+
+    def test_adaptive_round_trips_and_defaults_false(self):
+        adaptive = RunSpec("e", "f", {}, adaptive=True)
+        clone = RunSpec.from_dict(adaptive.to_dict())
+        assert clone.adaptive is True
+        assert clone == adaptive
+        # Payloads written before the adaptive field existed load as
+        # fixed-threshold specs.
+        legacy = {k: v for k, v in RunSpec("e", "f", {}).to_dict().items()
+                  if k != "adaptive"}
+        assert RunSpec.from_dict(legacy).adaptive is False
+
     def test_label_names_experiment_and_seed(self):
         spec = RunSpec("fig2", "fig2.point", {"load": 100.0}, seed=4)
         assert "fig2" in spec.label()
@@ -122,3 +139,9 @@ class TestRunOutcome:
         assert clone.summary == outcome.summary
         assert clone.extras == outcome.extras
         assert clone.cache_hit
+
+    def test_adaptations_default_and_extras(self):
+        outcome = self._outcome({})
+        assert outcome.adaptations == 0
+        outcome.extras["adaptations"] = 5
+        assert outcome.adaptations == 5

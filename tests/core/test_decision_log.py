@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.decision_log import DecisionKind, DecisionLog
+from repro.core.decision_log import DecisionEvent, DecisionKind, DecisionLog
 
 
 class TestDecisionLog:
@@ -48,6 +48,55 @@ class TestDecisionLog:
         e = log.record(1.25, DecisionKind.CANCELLATION, "x", score=2.5)
         assert "score=2.5" in e.render()
         assert "t=   1.250s" in e.render()
+
+
+class TestKindRoundTrips:
+    """Every DecisionKind survives record -> query -> value round-trips."""
+
+    @pytest.mark.parametrize("kind", list(DecisionKind))
+    def test_value_round_trip(self, kind):
+        assert DecisionKind(kind.value) is kind
+
+    @pytest.mark.parametrize("kind", list(DecisionKind))
+    def test_record_query_render(self, kind):
+        log = DecisionLog()
+        event = log.record(1.0, kind, f"event-{kind.value}", detail=1)
+        assert log.events_of(kind) == [event]
+        assert kind.value in event.render()
+
+    def test_event_payload_round_trip_all_kinds(self):
+        log = DecisionLog()
+        for i, kind in enumerate(DecisionKind):
+            log.record(float(i), kind, f"e-{kind.value}", index=i)
+        rebuilt = [
+            DecisionEvent(
+                time=e.time,
+                kind=DecisionKind(e.kind.value),
+                summary=e.summary,
+                details=dict(e.details),
+            )
+            for e in log.events
+        ]
+        assert rebuilt == log.events
+        assert {e.kind for e in rebuilt} == set(DecisionKind)
+
+    def test_adapt_kind_is_logged_by_adaptive_policy(self):
+        from repro.core import (
+            AdaptiveThresholdPolicy, AtroposConfig, OverloadDetector,
+        )
+        from repro.sim import Environment
+
+        env = Environment()
+        config = AtroposConfig(adaptive_thresholds=True)
+        policy = AdaptiveThresholdPolicy(
+            OverloadDetector(env, config), config, log := DecisionLog()
+        )
+        class _Flap:
+            kind = "detector-flapping"
+        policy.adapt(1.0, {"health_events": [_Flap()]})
+        events = log.events_of(DecisionKind.ADAPT)
+        assert len(events) == 1
+        assert events[0].details["reason"] == "detector-flapping"
 
 
 class TestAtroposTimeline:

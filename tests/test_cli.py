@@ -27,6 +27,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["case", "c1", "--system", "bogus"])
 
+    def test_run_parses_adaptive_flag(self):
+        args = build_parser().parse_args(["run", "fig9", "--adaptive"])
+        assert args.adaptive
+        assert not build_parser().parse_args(["run", "fig9"]).adaptive
+        assert build_parser().parse_args(["all", "--adaptive"]).adaptive
+
+    def test_ablate_adaptive_parses(self):
+        args = build_parser().parse_args(
+            ["ablate-adaptive", "--seed", "1", "--cases", "c2", "c12"]
+        )
+        assert args.command == "ablate-adaptive"
+        assert args.seed == 1
+        assert args.cases == ["c2", "c12"]
+
     def test_run_parses_campaign_flags(self):
         args = build_parser().parse_args(
             ["run", "fig10", "--jobs", "4", "--no-cache",
