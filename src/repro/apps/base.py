@@ -19,6 +19,7 @@ from ..core.controller import BaseController
 from ..core.task import CancellableTask
 from ..core.types import DropRequest, ResourceHandle, ResourceType, TaskKind
 from ..obs.tracer import owner_label
+from ..sim.resources import QueueFull
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
@@ -60,6 +61,9 @@ class Application:
         self.controller = controller
         self.rng = rng
         self._tracer = env.tracer
+        #: Consolidated hook switch, mirrored from Environment (one bool
+        #: per instant-emission site instead of a tracer lookup chain).
+        self._hooked = env.hooks_enabled
         self._handlers: Dict[str, Handler] = {}
         #: Count of instrumentation sites (tracing calls wired into this
         #: app); reported in the Table 3 integration-effort experiment.
@@ -185,8 +189,6 @@ class Application:
         Same protocol as :meth:`acquire_lock`; release with
         :meth:`release_lock`.
         """
-        from ..sim.resources import QueueFull
-
         self.controller.begin_wait(task, handle)
         try:
             grant = pool.submit(owner=task, klass=klass)
@@ -194,7 +196,7 @@ class Application:
             # Admission queue overflow is an application-level rejection
             # (HTTP 503 / too-many-connections), not a simulation error.
             self.controller.end_wait(task, handle)
-            if self._tracer.enabled:
+            if self._hooked:
                 self._tracer.instant(
                     self.env.now,
                     "app",
@@ -224,7 +226,7 @@ class Application:
         tracing-overhead debt.  Handlers call this at natural safe points.
         """
         if self.controller.should_drop(task):
-            if self._tracer.enabled:
+            if self._hooked:
                 self._tracer.instant(
                     self.env.now,
                     "app",
@@ -237,7 +239,7 @@ class Application:
         debt = task.metadata.pop("trace_debt", 0.0)
         total = delay + debt
         if total > 0.0:
-            if self._tracer.enabled:
+            if self._hooked:
                 self._tracer.instant(
                     self.env.now,
                     "app",

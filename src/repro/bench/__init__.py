@@ -1,0 +1,40 @@
+"""Kernel microbenchmark: the standard case mix behind ``repro bench``.
+
+See docs/PERFORMANCE.md for how to run it and read its output.
+"""
+
+from .cases import (
+    STANDARD_MIX,
+    BenchCase,
+    case_names,
+    events_scheduled,
+    get_bench_case,
+)
+from .runner import (
+    DEFAULT_BENCH_PATH,
+    BenchReport,
+    CaseResult,
+    calibrate,
+    check_regression,
+    run_bench,
+    run_case,
+    speedups,
+    write_report,
+)
+
+__all__ = [
+    "STANDARD_MIX",
+    "BenchCase",
+    "BenchReport",
+    "CaseResult",
+    "DEFAULT_BENCH_PATH",
+    "calibrate",
+    "case_names",
+    "check_regression",
+    "events_scheduled",
+    "get_bench_case",
+    "run_bench",
+    "run_case",
+    "speedups",
+    "write_report",
+]

@@ -1,0 +1,268 @@
+"""The standard kernel case mix measured by ``repro bench``.
+
+Each case is a self-contained micro-simulation exercising one hot slice
+of the DES engine (see docs/PERFORMANCE.md for the hot-path tour):
+
+* ``timeout-churn``   -- the generator yield/resume cycle on Timeouts.
+* ``process-storm``   -- process creation, start, finish, and join.
+* ``condition-fanin`` -- AllOf/AnyOf composite event trees.
+* ``lock-handoff``    -- SyncLock convoy handoffs (grant machinery).
+* ``arrival-flood``   -- the full request path: arrival stream ->
+  driver -> cancellable task -> handler -> metrics record.
+* ``macro-case-c1``   -- one real paper case (MySQL backup overload),
+  keeping the mix honest about end-to-end engine cost.
+
+Cases express a *workload*, not an engine strategy: the same case runs
+on any engine generation, so events/sec is comparable across kernels.
+All randomness is seeded; a case run is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..apps.base import Application, Operation
+from ..core.controller import NullController
+from ..sim.environment import Environment
+from ..sim.metrics import MetricsCollector
+from ..sim.resources.lock import SyncLock
+from ..sim.rng import Rng
+from ..workloads.driver import Driver
+from ..workloads.spec import MixEntry, OpenLoopSource, Workload
+
+
+def events_scheduled(env: Environment) -> int:
+    """Total events the environment has scheduled (engine-agnostic).
+
+    Prefers the fast-path kernel's counter; falls back to consuming one
+    value from a generator-based sequence counter (only done after the
+    run, so the probe never perturbs results).
+    """
+    n = getattr(env, "events_scheduled", None)
+    if n is not None:
+        return int(n)
+    return next(env._eid)
+
+
+#: A case body: given a scale, build + run the simulation and return
+#: (environment, simulated_seconds).  The *whole* body is timed, so
+#: engines may trade setup cost for per-event cost but cannot hide it.
+CaseBody = Callable[[int], Tuple[Environment, float]]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One member of the standard mix."""
+
+    name: str
+    description: str
+    body: CaseBody
+    #: Scale (case-specific unit, roughly "units of work") per mode.
+    quick_scale: int
+    full_scale: int
+
+    def scale(self, quick: bool) -> int:
+        return self.quick_scale if quick else self.full_scale
+
+
+# ----------------------------------------------------------------------
+# Kernel-pure cases
+# ----------------------------------------------------------------------
+
+def _timeout_churn(scale: int) -> Tuple[Environment, float]:
+    """``scale`` Timeout waits spread over 100 concurrent processes."""
+    env = Environment()
+    procs = 100
+    waits = scale // procs
+
+    def churn(env: Environment, delay: float, n: int):
+        for _ in range(n):
+            yield env.timeout(delay)
+
+    for i in range(procs):
+        # Distinct delays keep heap times distinct (the common regime).
+        env.process(churn(env, 0.001 + i * 1e-6, waits))
+    env.run()
+    return env, env.now
+
+
+def _process_storm(scale: int) -> Tuple[Environment, float]:
+    """``scale`` short-lived processes, spawned in waves and joined."""
+    env = Environment()
+    wave = 500
+    waves = scale // wave
+
+    def worker(env: Environment, delay: float):
+        yield env.timeout(delay)
+
+    def spawner(env: Environment):
+        for w in range(waves):
+            procs = [
+                env.process(worker(env, 0.0005 + i * 1e-7))
+                for i in range(wave)
+            ]
+            yield env.all_of(procs)
+
+    env.process(spawner(env))
+    env.run()
+    return env, env.now
+
+
+def _condition_fanin(scale: int) -> Tuple[Environment, float]:
+    """``scale`` composite conditions over 8-way timeout fans."""
+
+    env = Environment()
+
+    def fanner(env: Environment):
+        for i in range(scale):
+            fan = [env.timeout(0.0001 * (j + 1)) for j in range(8)]
+            if i % 2:
+                yield env.any_of(fan)
+            else:
+                yield env.all_of(fan)
+
+    env.process(fanner(env))
+    env.run()
+    return env, env.now
+
+
+def _lock_handoff(scale: int) -> Tuple[Environment, float]:
+    """``scale`` exclusive acquire/hold/release handoffs on one lock."""
+    env = Environment()
+    lock = SyncLock(env, "bench-lock")
+    procs = 50
+    rounds = scale // procs
+
+    def contender(env: Environment, hold: float):
+        for _ in range(rounds):
+            with lock.acquire(owner=None, exclusive=True) as grant:
+                yield grant
+                yield env.timeout(hold)
+
+    for i in range(procs):
+        env.process(contender(env, 0.0001 + i * 1e-7))
+    env.run()
+    return env, env.now
+
+
+# ----------------------------------------------------------------------
+# Full request-path cases
+# ----------------------------------------------------------------------
+
+class _BenchApp(Application):
+    """Minimal application: one handler burning a fixed service time."""
+
+    name = "benchapp"
+
+    def __init__(self, env, controller, rng) -> None:
+        super().__init__(env, controller, rng)
+        self.register_handler("noop", self._noop)
+
+    def _noop(self, task, service: float = 0.002):
+        yield self.env.timeout(service)
+
+
+def _arrival_flood(scale: int) -> Tuple[Environment, float]:
+    """~``scale`` open-loop Poisson arrivals through the full driver.
+
+    Uses the driver's pre-generated arrival-stream path when the engine
+    provides one (``Driver.run_arrivals``), else the classic generator
+    source -- the workload (arrival times, operations, service times)
+    is draw-identical either way.
+    """
+    rate = 2000.0
+    duration = scale / rate
+    env = Environment()
+    rng = Rng(0)
+    controller = NullController(env)
+    app = _BenchApp(env, controller, rng)
+    driver = Driver(env, app, controller, MetricsCollector())
+    mix = [MixEntry(lambda: Operation("noop"), 1.0)]
+    if hasattr(driver, "run_arrivals"):
+        from ..workloads.spec import poisson_arrival_stream
+
+        stream = poisson_arrival_stream(
+            rng.fork("arrivals:client"),
+            rate=rate,
+            stop_time=duration,
+            mix=mix,
+        )
+        driver.run_arrivals(stream)
+    else:  # pragma: no cover - pre-fast-path engines only
+        workload = Workload(
+            [OpenLoopSource(rate=rate, mix=mix, stop_time=duration)]
+        )
+        driver.run_workload(workload)
+    env.run(until=duration)
+    return env, duration
+
+
+def _macro_case_c1(scale: int) -> Tuple[Environment, float]:
+    """``scale`` seconds of the paper's case c1 (MySQL backup), overload
+    baseline -- the engine running a real app model end to end."""
+    from ..cases import get_case
+
+    case = get_case("c1")
+    result = case.run(controller_factory=None, seed=0, duration=float(scale))
+    return result.driver.env, float(scale)
+
+
+#: The standard case mix, in report order.
+STANDARD_MIX: List[BenchCase] = [
+    BenchCase(
+        "timeout-churn",
+        "generator timeout waits, 100 concurrent processes",
+        _timeout_churn,
+        quick_scale=50_000,
+        full_scale=400_000,
+    ),
+    BenchCase(
+        "process-storm",
+        "short-lived process create/start/finish/join waves",
+        _process_storm,
+        quick_scale=10_000,
+        full_scale=60_000,
+    ),
+    BenchCase(
+        "condition-fanin",
+        "AllOf/AnyOf composites over 8-way timeout fans",
+        _condition_fanin,
+        quick_scale=4_000,
+        full_scale=25_000,
+    ),
+    BenchCase(
+        "lock-handoff",
+        "exclusive SyncLock convoy handoffs, 50 contenders",
+        _lock_handoff,
+        quick_scale=10_000,
+        full_scale=50_000,
+    ),
+    BenchCase(
+        "arrival-flood",
+        "open-loop Poisson arrivals through the full request path",
+        _arrival_flood,
+        quick_scale=10_000,
+        full_scale=80_000,
+    ),
+    BenchCase(
+        "macro-case-c1",
+        "paper case c1 (MySQL backup overload), uncontrolled",
+        _macro_case_c1,
+        quick_scale=5,
+        full_scale=20,
+    ),
+]
+
+
+def case_names() -> List[str]:
+    return [case.name for case in STANDARD_MIX]
+
+
+def get_bench_case(name: str) -> BenchCase:
+    for case in STANDARD_MIX:
+        if case.name == name:
+            return case
+    raise KeyError(
+        f"unknown bench case {name!r}; known: {case_names()}"
+    )

@@ -1,0 +1,311 @@
+"""Kernel microbenchmark runner: time the standard mix, emit BENCH JSON.
+
+``repro bench`` exists so the repo has a *perf trajectory*: every run
+reports events/sec per case and for the whole mix, and the checked-in
+``BENCH_<n>.json`` snapshots let future sessions (and the CI
+``bench-smoke`` job) see whether the engine got faster or slower.
+
+Cross-machine comparability: absolute events/sec numbers are only
+comparable on one machine.  Every report therefore embeds a
+*calibration* number -- events/sec of a fixed pure-Python heap+generator
+loop timed in the same process -- and regression checks compare
+``mix / calibration`` ratios, which factor out most of the host-speed
+difference between (say) a laptop and a CI runner.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .cases import STANDARD_MIX, BenchCase, events_scheduled
+
+#: Default output path at the repo root (n = the PR that added/refreshed
+#: the snapshot; keep history, bump n on re-anchors).
+DEFAULT_BENCH_PATH = "BENCH_6.json"
+
+#: Bench report schema version.
+SCHEMA = 1
+
+
+@dataclass
+class CaseResult:
+    """Timing for one case of the mix."""
+
+    name: str
+    description: str
+    scale: int
+    events: int
+    wall_s: float
+    sim_time: float
+    repeats: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scale": self.scale,
+            "events": self.events,
+            "wall_s": round(self.wall_s, 6),
+            "sim_time": round(self.sim_time, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "repeats": self.repeats,
+        }
+
+
+@dataclass
+class BenchReport:
+    """One full bench run (the mix plus host calibration)."""
+
+    mode: str
+    repeats: int
+    calibration_events_per_sec: float
+    cases: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def mix_events(self) -> int:
+        return sum(case.events for case in self.cases)
+
+    @property
+    def mix_wall_s(self) -> float:
+        return sum(case.wall_s for case in self.cases)
+
+    @property
+    def mix_events_per_sec(self) -> float:
+        wall = self.mix_wall_s
+        return self.mix_events / wall if wall > 0 else float("inf")
+
+    @property
+    def normalized_mix(self) -> float:
+        """Mix events/sec relative to the calibration loop (host-neutral)."""
+        return self.mix_events_per_sec / self.calibration_events_per_sec
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "generated_by": "repro bench",
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "mode": self.mode,
+            "repeats": self.repeats,
+            "calibration_events_per_sec": round(
+                self.calibration_events_per_sec, 1
+            ),
+            "cases": [case.to_dict() for case in self.cases],
+            "mix": {
+                "events": self.mix_events,
+                "wall_s": round(self.mix_wall_s, 6),
+                "events_per_sec": round(self.mix_events_per_sec, 1),
+                "normalized": round(self.normalized_mix, 6),
+            },
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"repro bench ({self.mode} mode, best of {self.repeats}; "
+            f"calibration {self.calibration_events_per_sec:,.0f} ev/s)",
+            "",
+            f"{'case':<18} {'events':>9} {'wall':>9} {'events/sec':>12} "
+            f"{'sim-time':>9}",
+        ]
+        for case in self.cases:
+            lines.append(
+                f"{case.name:<18} {case.events:>9,} "
+                f"{case.wall_s:>8.3f}s {case.events_per_sec:>12,.0f} "
+                f"{case.sim_time:>8.2f}s"
+            )
+        lines.append("-" * len(lines[2]))
+        lines.append(
+            f"{'mix':<18} {self.mix_events:>9,} {self.mix_wall_s:>8.3f}s "
+            f"{self.mix_events_per_sec:>12,.0f} "
+            f"{'(normalized ' + format(self.normalized_mix, '.3f') + ')':>9}"
+        )
+        return "\n".join(lines)
+
+
+def calibrate(entries: int = 500_000, passes: int = 3) -> float:
+    """Events/sec of a fixed minimal heap+generator loop (best of passes).
+
+    This is the irreducible skeleton of any Python DES step loop -- pop,
+    advance a generator, push -- with no kernel code involved, so it
+    tracks host interpreter speed, not engine quality.  Used to
+    normalize mix numbers across machines.
+
+    Best-of-``passes`` mirrors the best-of-repeats case walls: both
+    sides of the ``mix/calibration`` ratio are quiet-machine numbers,
+    otherwise one noisy scheduler moment during the single calibration
+    run skews every normalized figure of the report.  The default
+    ``entries`` makes one pass a few hundred milliseconds -- the same
+    duration scale as the case runs -- so a brief CPU-frequency burst
+    cannot be captured by calibration yet missed by every case.
+    """
+
+    def gen(n: int):
+        for _ in range(n):
+            yield 0.001
+
+    def one_pass() -> float:
+        streams = 100
+        per = entries // streams
+        queue = [(0.0, i, gen(per)) for i in range(streams)]
+        heapq.heapify(queue)
+        seq = streams
+        pop, push = heapq.heappop, heapq.heappush
+        processed = 0
+        start = time.perf_counter()
+        while queue:
+            now, _, g = pop(queue)
+            processed += 1
+            try:
+                delay = next(g)
+            except StopIteration:
+                continue
+            seq += 1
+            push(queue, (now + delay, seq, g))
+        wall = time.perf_counter() - start
+        return processed / wall
+
+    return max(one_pass() for _ in range(max(1, passes)))
+
+
+def run_case(case: BenchCase, quick: bool, repeats: int = 3) -> CaseResult:
+    """Time one case (best wall time of ``repeats`` runs).
+
+    The timed region covers construction + run, so an engine that moves
+    per-event work into batched setup still pays for it here.
+    """
+    scale = case.scale(quick)
+    best_wall = float("inf")
+    events = 0
+    sim_time = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        env, sim_time = case.body(scale)
+        wall = time.perf_counter() - start
+        events = events_scheduled(env)
+        best_wall = min(best_wall, wall)
+    return CaseResult(
+        name=case.name,
+        description=case.description,
+        scale=scale,
+        events=events,
+        wall_s=best_wall,
+        sim_time=sim_time,
+        repeats=max(1, repeats),
+    )
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 3,
+    cases: Optional[List[BenchCase]] = None,
+    progress=None,
+) -> BenchReport:
+    """Run the standard mix (or ``cases``) and return the report."""
+    report = BenchReport(
+        mode="quick" if quick else "full",
+        repeats=max(1, repeats),
+        calibration_events_per_sec=calibrate(),
+    )
+    for case in cases if cases is not None else STANDARD_MIX:
+        result = run_case(case, quick=quick, repeats=repeats)
+        report.cases.append(result)
+        if progress is not None:
+            progress(result)
+    return report
+
+
+def write_report(
+    report: BenchReport,
+    path: str,
+    baseline: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write the report JSON; ``baseline`` (pre-PR numbers measured on
+    the same machine) is embedded verbatim with per-case speedups."""
+    payload = report.to_dict()
+    if baseline is not None:
+        payload["baseline"] = baseline
+        payload["speedup"] = speedups(payload, baseline)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def speedups(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> Dict[str, object]:
+    """Per-case and mix events/sec ratios current/baseline."""
+    base_cases = {
+        c["name"]: c for c in baseline.get("cases", [])
+    }
+    per_case = {}
+    for case in current.get("cases", []):
+        base = base_cases.get(case["name"])
+        if base and base.get("events_per_sec"):
+            per_case[case["name"]] = round(
+                case["events_per_sec"] / base["events_per_sec"], 2
+            )
+    out: Dict[str, object] = {"per_case": per_case}
+    base_mix = baseline.get("mix", {}).get("events_per_sec")
+    cur_mix = current.get("mix", {}).get("events_per_sec")
+    if base_mix and cur_mix:
+        out["mix"] = round(cur_mix / base_mix, 2)
+    return out
+
+
+def check_regression(
+    report: BenchReport,
+    baseline_path: str,
+    max_regression: float = 0.2,
+) -> List[str]:
+    """Compare against a checked-in report; return failure messages.
+
+    Two-sided gate: the mix counts as regressed only if **both** the raw
+    events/sec *and* the calibration-normalized events/sec fall more
+    than ``max_regression`` below the baseline.  Rationale: on the same
+    machine raw throughput is the stable signal (normalization can
+    *add* noise when background load hits calibration and cases
+    unequally), while on a different-speed host only the normalized
+    number is meaningful -- so a real engine regression trips both,
+    but host variance alone rarely trips either.  A missing/corrupt
+    baseline is a failure (the gate must not silently pass).
+    """
+    try:
+        with open(baseline_path) as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read baseline {baseline_path!r}: {exc}"]
+
+    snap_norm = snapshot.get("mix", {}).get("normalized")
+    snap_mix = snapshot.get("mix", {}).get("events_per_sec")
+    if not snap_norm:
+        calib = snapshot.get("calibration_events_per_sec")
+        if calib and snap_mix:
+            snap_norm = snap_mix / calib
+    if not snap_norm or not snap_mix:
+        return [
+            f"baseline {baseline_path!r} has no mix/normalized numbers"
+        ]
+    tolerance = 1.0 - max_regression
+    norm_floor = snap_norm * tolerance
+    mix_floor = snap_mix * tolerance
+    current_norm = report.normalized_mix
+    current_mix = report.mix_events_per_sec
+    if current_norm < norm_floor and current_mix < mix_floor:
+        return [
+            "mix regression vs "
+            f"{baseline_path} (tolerance {max_regression:.0%}): "
+            f"normalized {current_norm:.3f} < floor {norm_floor:.3f} "
+            f"(baseline {snap_norm:.3f}) AND raw {current_mix:,.0f} ev/s "
+            f"< floor {mix_floor:,.0f} (baseline {snap_mix:,.0f})"
+        ]
+    return []

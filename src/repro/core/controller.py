@@ -9,12 +9,11 @@ applications (§5.1).
 
 from __future__ import annotations
 
-from itertools import count
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from .progress import ProgressModel
 from .task import CancelInitiator, CancellableTask, default_initiator
-from .types import ResourceHandle, ResourceType
+from .types import ResourceHandle, ResourceType, TaskKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
@@ -33,7 +32,7 @@ class BaseController:
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self._task_seq = count(1)
+        self._task_seq = 1
         self.tasks: Dict[int, CancellableTask] = {}
         self.resources: Dict[str, ResourceHandle] = {}
         self._initiator: CancelInitiator = default_initiator
@@ -75,10 +74,9 @@ class BaseController:
         If ``key`` is omitted a unique key is generated (paper §3.1).  The
         active simulated process is captured as the cancellation target.
         """
-        from .types import TaskKind
-
         if key is None:
-            key = next(self._task_seq)
+            key = self._task_seq
+            self._task_seq += 1
         task = CancellableTask(
             env=self.env,
             key=key,

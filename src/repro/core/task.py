@@ -18,6 +18,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
     from ..sim.process import Process
 
+#: Shared stateless default progress model (one per process, not per task).
+_UNKNOWN_PROGRESS = UnknownProgress()
+
 
 class TaskState(enum.Enum):
     RUNNING = "running"
@@ -51,7 +54,7 @@ class CancellableTask:
         #: The simulated process executing this task; the default
         #: cancellation initiator interrupts it.
         self.process = process
-        self.progress_model: ProgressModel = progress or UnknownProgress()
+        self.progress_model: ProgressModel = progress or _UNKNOWN_PROGRESS
         self.created_at = env.now
         self.state = TaskState.RUNNING
         #: Times this task has been cancelled (the fairness rule allows

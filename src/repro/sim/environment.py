@@ -1,19 +1,33 @@
-"""The simulation environment: clock, event heap, and run loop."""
+"""The simulation environment: clock, event heap, and run loop.
+
+Ordering contract (see also docs/ARCHITECTURE.md "Simulation kernel"):
+events are processed in ascending ``(time, priority, sequence)`` order.
+Time is the simulated timestamp, priority is URGENT (0) before NORMAL
+(1), and the sequence number -- assigned in scheduling order -- makes
+the order total and FIFO among same-time, same-priority events.
+
+Heap entries are packed 3-tuples ``(time, key, event)`` with
+``key = (priority << SEQ_BITS) | seq``: sequence numbers are global and
+far below ``2**SEQ_BITS``, so integer key order is exactly lexicographic
+(priority, sequence) order, with one comparison and one tuple slot fewer
+per entry than the naive 4-tuple.  Everything that schedules an event --
+:meth:`Environment.schedule`, the inlined fast paths in
+:mod:`repro.sim.events` and :mod:`repro.sim.process`, and
+:meth:`Environment.schedule_batch` -- builds entries in this one format.
+"""
 
 from __future__ import annotations
 
 import heapq
-from itertools import count
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Iterable, List, Optional, Tuple, Union
 
 from ..obs.tracer import NULL_TRACER
 from .errors import EmptySchedule, StopSimulation
-from .events import NORMAL, AllOf, AnyOf, Event, Timeout
+from .events import NORMAL, SEQ_BITS, AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGenerator
 
-#: Heap entries: (time, priority, sequence, event).  The sequence number
-#: makes ordering total and FIFO among same-time same-priority events.
-QueueEntry = Tuple[float, int, int, Event]
+#: Heap entries: (time, (priority << SEQ_BITS) | sequence, event).
+QueueEntry = Tuple[float, int, Event]
 
 
 class Environment:
@@ -25,15 +39,25 @@ class Environment:
     The environment also carries the run's :mod:`repro.obs` tracer; model
     components read ``env.tracer`` at construction time, so the tracer
     must be passed here (before resources are built) to take effect.
+
+    :attr:`hooks_enabled` is the consolidated fast-path switch: it is
+    computed *once*, here, and components cache it at construction
+    instead of re-testing ``tracer.enabled`` per event.  When False, the
+    kernel and every layer above it skip span/instant bookkeeping
+    entirely; the simulated schedule is identical either way (hooks
+    observe, they never steer).
     """
 
     def __init__(self, initial_time: float = 0.0, tracer=None) -> None:
         self._now = float(initial_time)
         self._queue: List[QueueEntry] = []
-        self._eid = count()
+        #: Next event sequence number == events scheduled so far.
+        self._eid = 0
         self._active_process: Optional[Process] = None
         #: Structured tracer (NULL_TRACER = tracing disabled, the default).
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: One consolidated flag for "any per-event hook is live".
+        self.hooks_enabled = bool(self.tracer.enabled)
         #: Number of started-but-unfinished processes (telemetry gauge).
         self.alive_processes = 0
 
@@ -41,6 +65,11 @@ class Environment:
     def queue_depth(self) -> int:
         """Number of scheduled-but-unprocessed events (telemetry gauge)."""
         return len(self._queue)
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events scheduled so far (the bench throughput counter)."""
+        return self._eid
 
     @property
     def now(self) -> float:
@@ -81,8 +110,34 @@ class Environment:
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Schedule ``event`` to be processed after ``delay``."""
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+            self._queue,
+            (self._now + delay, (priority << SEQ_BITS) | self._eid, event),
         )
+        self._eid += 1
+
+    def schedule_batch(
+        self, entries: Iterable[Tuple[float, Event]], priority: int = NORMAL
+    ) -> int:
+        """Schedule many ``(absolute_time, event)`` pairs in one pass.
+
+        ``entries`` must be in ascending time order (sequence numbers are
+        assigned in iteration order, so FIFO-among-ties matches what a
+        loop of :meth:`schedule` calls would produce).  One
+        ``heapify`` replaces per-event sift-ups; with a near-empty queue
+        this is the O(n) way to preload an arrival stream.  Returns the
+        number of events scheduled.
+        """
+        queue = self._queue
+        eid = self._eid
+        key_base = priority << SEQ_BITS
+        n = len(queue)
+        for at, event in entries:
+            queue.append((at, key_base | eid, event))
+            eid += 1
+        added = len(queue) - n
+        self._eid = eid
+        heapq.heapify(queue)
+        return added
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -97,7 +152,7 @@ class Environment:
         the exception of a failed event that nobody handled (not defused).
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events scheduled") from None
 
@@ -139,13 +194,24 @@ class Environment:
                     f"until ({stop_at}) must not be before now ({self._now})"
                 )
 
+        # The run loop is `step()` inlined: one heappop and one callback
+        # sweep per event, no per-event method-call or peek() overhead.
+        # Semantics are identical to `while queue: self.step()`.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue and self.peek() <= stop_at:
-                self.step()
+            while queue and queue[0][0] <= stop_at:
+                self._now, _, event = heappop(queue)
+                callbacks = event.callbacks
+                if callbacks is None:
+                    continue
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
-        except EmptySchedule:
-            pass
 
         if stop_event is not None and not stop_event.triggered:
             raise RuntimeError(

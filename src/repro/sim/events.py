@@ -3,10 +3,20 @@
 The kernel is a compact, dependency-free engine in the style of SimPy:
 an :class:`Event` is a one-shot occurrence with callbacks; generator-based
 processes (see :mod:`repro.sim.process`) yield events to wait on them.
+
+Hot-path notes (see docs/PERFORMANCE.md for the full tour): event types
+declare ``__slots__`` and the constructors of the high-volume types
+(:class:`Event`, :class:`Timeout`) write fields and push heap entries
+directly rather than delegating through ``Environment.schedule`` -- both
+paths produce *identical* heap entries ``(time, key, event)`` with
+``key = (priority << SEQ_BITS) | seq``, so event ordering is exactly the
+(time, priority, sequence) contract documented in
+:mod:`repro.sim.environment` no matter which path scheduled the event.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -20,6 +30,14 @@ PENDING = object()
 URGENT = 0
 NORMAL = 1
 
+#: Heap keys pack (priority, sequence) into one int:
+#: ``key = (priority << SEQ_BITS) | seq``.  Sequence numbers are global
+#: across priorities and far below 2**SEQ_BITS, so key order equals
+#: lexicographic (priority, sequence) order.
+SEQ_BITS = 50
+_URGENT_KEY = URGENT << SEQ_BITS
+_NORMAL_KEY = NORMAL << SEQ_BITS
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -28,6 +46,8 @@ class Event:
     *triggered* (a value or exception has been set and it is scheduled),
     and *processed* (its callbacks have run).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -64,11 +84,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=NORMAL)
+        env = self.env
+        heappush(env._queue, (env._now, _NORMAL_KEY | env._eid, self))
+        env._eid += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -76,17 +98,24 @@ class Event:
 
         Waiting processes will have ``exception`` thrown into them.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=NORMAL)
+        env = self.env
+        heappush(env._queue, (env._now, _NORMAL_KEY | env._eid, self))
+        env._eid += 1
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (for chaining)."""
+        if event._value is PENDING:
+            raise RuntimeError(
+                f"cannot trigger {self!r} from {event!r}: the source "
+                "event has not been triggered yet"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -106,14 +135,22 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
+        # Timeouts are the kernel's highest-volume event: write the base
+        # fields and the heap entry directly (same entry Environment
+        # .schedule would build).
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=delay)
+        self.defused = False
+        self._delay = delay
+        heappush(env._queue, (env._now + delay, _NORMAL_KEY | env._eid, self))
+        env._eid += 1
 
     @property
     def delay(self) -> float:
@@ -126,6 +163,8 @@ class Condition(Event):
     Used through the :class:`AllOf` / :class:`AnyOf` helpers.  The value of
     a condition is a dict mapping each *triggered* child event to its value.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -160,7 +199,7 @@ class Condition(Event):
         }
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             # Already decided; late child failures must not crash the sim.
             if not event._ok:
                 event.defused = True
@@ -184,12 +223,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once all of ``events`` have triggered successfully."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Triggers once any of ``events`` has triggered successfully."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

@@ -26,7 +26,7 @@ class RequestStatus(enum.Enum):
     TIMED_OUT = "timed_out"
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
     """Terminal record for one request."""
 

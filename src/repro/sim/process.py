@@ -6,34 +6,51 @@ objects to wait on them.  Processes can be interrupted, which throws
 yield point -- this models cancellation checkpoints: the simulated
 application only observes a cancellation where it chose to wait, and can
 run ``try/finally`` cleanup, just like a real cancellation initiator.
+
+``Process._resume`` is the kernel's hottest function: every event
+delivery runs it once.  It uses the consolidated
+``Environment.hooks_enabled`` flag (checked once at construction, cached
+in ``_span``: None means "no tracing") and schedules its completion by
+pushing the packed heap entry directly, like the fast paths in
+:mod:`repro.sim.events`.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from .errors import Interrupt
-from .events import NORMAL, URGENT, Event
+from .events import PENDING, SEQ_BITS, URGENT, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .environment import Environment
 
 ProcessGenerator = Generator[Event, Any, Any]
 
+_URGENT_KEY = URGENT << SEQ_BITS
+_NORMAL_KEY = 1 << SEQ_BITS
+
 
 class Initialize(Event):
     """Internal event that starts a process on the next kernel step."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
+        self.env = env
         self._ok = True
         self._value = None
+        self.defused = False
         self.callbacks = [process._resume]
-        env.schedule(self, priority=URGENT)
+        heappush(env._queue, (env._now, _URGENT_KEY | env._eid, self))
+        env._eid += 1
 
 
 class Interruption(Event):
     """Internal event that delivers an interrupt to a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -70,21 +87,28 @@ class Process(Event):
     escaped it), so other processes can ``yield proc`` to join it.
     """
 
+    __slots__ = ("_generator", "_target", "name", "_span")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value: Any = PENDING
+        self._ok = True
+        self.defused = False
         self._generator = generator
         #: The event this process is currently waiting on (None while active).
         self._target: Optional[Event] = None
         self.name = getattr(generator, "__name__", "process")
-        tracer = env.tracer
-        #: Lifetime span (None when tracing is disabled).
-        self._span = (
-            tracer.begin(env.now, "process", self.name, f"proc:{self.name}")
-            if tracer.enabled
-            else None
-        )
+        #: Lifetime span (None when tracing is disabled -- the fast path).
+        if env.hooks_enabled:
+            tracer = env.tracer
+            self._span = tracer.begin(
+                env.now, "process", self.name, f"proc:{self.name}"
+            )
+        else:
+            self._span = None
         env.alive_processes += 1
         Initialize(env, self)
 
@@ -109,8 +133,8 @@ class Process(Event):
             raise RuntimeError(f"{self!r} has already terminated")
         if self.env.active_process is self:
             raise RuntimeError("a process is not allowed to interrupt itself")
-        tracer = self.env.tracer
-        if tracer.enabled:
+        if self.env.hooks_enabled:
+            tracer = self.env.tracer
             tracer.instant(
                 self.env.now,
                 "interrupt",
@@ -120,57 +144,56 @@ class Process(Event):
             )
         Interruption(self, cause)
 
+    def _finish(self, env: "Environment", ok: bool, value: Any, outcome: str) -> None:
+        """Trigger the process event with the generator's outcome."""
+        self._ok = ok
+        self._value = value
+        if self._span is not None:
+            self._span.end(env.now, outcome=outcome)
+            self._span = None
+        env.alive_processes -= 1
+        heappush(env._queue, (env._now, _NORMAL_KEY | env._eid, self))
+        env._eid += 1
+
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
         env = self.env
         env._active_process = self
         self._target = None
+        send = self._generator.send
+        throw = self._generator.throw
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The waited-on event failed; the exception is about to
                     # be delivered, so it is handled as far as the kernel is
                     # concerned.
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = throw(event._value)
             except StopIteration as exc:
-                self._ok = True
-                self._value = exc.value
-                if self._span is not None:
-                    self._span.end(env.now, outcome="finished")
-                    self._span = None
-                env.alive_processes -= 1
-                env.schedule(self, priority=NORMAL)
+                self._finish(env, True, exc.value, "finished")
                 break
             except BaseException as exc:
-                self._ok = False
-                self._value = exc
                 if isinstance(exc, Interrupt):
                     # A cancellation that unwinds the whole task is an
                     # expected outcome, not a simulation bug: do not crash
                     # the run if nobody joins this process.
                     self.defused = True
-                if self._span is not None:
-                    self._span.end(env.now, outcome=type(exc).__name__)
-                    self._span = None
-                env.alive_processes -= 1
-                env.schedule(self, priority=NORMAL)
+                self._finish(env, False, exc, type(exc).__name__)
                 break
 
             if not isinstance(next_event, Event):
-                exc = RuntimeError(
-                    f"process {self.name!r} yielded {next_event!r}, "
-                    "which is not an Event"
+                self._finish(
+                    env,
+                    False,
+                    RuntimeError(
+                        f"process {self.name!r} yielded {next_event!r}, "
+                        "which is not an Event"
+                    ),
+                    "error",
                 )
-                self._ok = False
-                self._value = exc
-                if self._span is not None:
-                    self._span.end(env.now, outcome="error")
-                    self._span = None
-                env.alive_processes -= 1
-                env.schedule(self, priority=NORMAL)
                 break
 
             if next_event.callbacks is not None:

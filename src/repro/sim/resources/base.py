@@ -40,6 +40,20 @@ class Grant(Event):
     assigned, and *closed* after release or cancellation.
     """
 
+    #: ``_wait_aid`` / ``_hold_aid`` are the async-span ids the tracing
+    #: helpers below hang on the grant; ``_closed_hold`` freezes the hold
+    #: time at close.  All three are slots (set lazily, read defensively).
+    __slots__ = (
+        "resource",
+        "owner",
+        "request_time",
+        "grant_time",
+        "closed",
+        "_closed_hold",
+        "_wait_aid",
+        "_hold_aid",
+    )
+
     def __init__(self, env: "Environment", resource: Any, owner: Any) -> None:
         super().__init__(env)
         self.resource = resource
@@ -99,8 +113,10 @@ class Resource:
     The shared helpers below emit the wait/hold span pair every queued
     primitive produces -- an async *wait* span from request to grant (or
     abandonment) and an async *hold* span from grant to release -- plus
-    queue-depth counters.  All of them check ``tracer.enabled`` first,
-    so the untraced fast path costs one attribute load and one branch.
+    queue-depth counters.  Subclasses gate every helper call on the
+    cached ``self._traced`` bool (resolved once here, from the
+    consolidated ``Environment.hooks_enabled`` switch), so the untraced
+    fast path costs one attribute load and one branch per transition.
     """
 
     #: Trace category; also prefixes the per-resource track name.
@@ -110,6 +126,8 @@ class Resource:
         self.env = env
         self.name = name
         self._tracer = env.tracer if traced else NULL_TRACER
+        #: Fast-path switch: True only when a live tracer will record us.
+        self._traced = bool(traced and env.hooks_enabled)
 
     def _close(self, grant: Grant) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

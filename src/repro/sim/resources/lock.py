@@ -25,6 +25,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class LockGrant(Grant):
     """Grant event for a :class:`SyncLock` acquisition."""
 
+    __slots__ = ("exclusive",)
+
     def __init__(
         self, env: "Environment", lock: "SyncLock", owner: Any, exclusive: bool
     ) -> None:
@@ -93,7 +95,7 @@ class SyncLock(Resource):
         """Request the lock; returns a grant event to yield on."""
         grant = LockGrant(self.env, self, owner, exclusive)
         self._waiters.append(grant)
-        if self._tracer.enabled:
+        if self._traced:
             self._trace_wait_begin(grant, exclusive=exclusive)
             self._trace_depths(
                 queued=len(self._waiters), holders=len(self._holders)
@@ -115,7 +117,7 @@ class SyncLock(Resource):
             self._waiters.popleft()
             self._holders.append(head)
             self.total_wait_time += self.env.now - head.request_time
-            if self._tracer.enabled:
+            if self._traced:
                 self._trace_granted(head, exclusive=head.exclusive)
                 self._trace_depths(
                     queued=len(self._waiters), holders=len(self._holders)
@@ -126,7 +128,7 @@ class SyncLock(Resource):
         if grant in self._holders:
             self._holders.remove(grant)
             self.total_hold_time += grant.hold_time
-            if self._tracer.enabled:
+            if self._traced:
                 self._trace_released(grant)
                 self._trace_depths(
                     queued=len(self._waiters), holders=len(self._holders)
@@ -139,7 +141,7 @@ class SyncLock(Resource):
         except ValueError:
             pass
         else:
-            if self._tracer.enabled:
+            if self._traced:
                 self._trace_abandoned(grant)
                 self._trace_depths(
                     queued=len(self._waiters), holders=len(self._holders)

@@ -146,7 +146,7 @@ class MemoryPool(Resource):
         evicted = 0
         if overflow > 0:
             evicted = self._evict(overflow, requester=None, protected=())
-            if self._tracer.enabled:
+            if self._traced:
                 self._trace_depths(used=self.used_pages, free=self.free_pages)
         return evicted
 
@@ -201,7 +201,7 @@ class MemoryPool(Resource):
             self._resident[owner] = self._resident.get(owner, 0) + pages
             self._resident.move_to_end(owner)
         self.total_acquired += pages
-        if self._tracer.enabled:
+        if self._traced:
             from ...obs.tracer import owner_label
 
             if evicted > 0:
@@ -298,7 +298,7 @@ class MemoryPool(Resource):
         else:
             self._resident[owner] = have - take
         self.total_released += take
-        if self._tracer.enabled:
+        if self._traced:
             self._trace_depths(used=self.used_pages, free=self.free_pages)
         return take
 

@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class SlotGrant(Grant):
     """Grant event for a worker slot."""
 
+    __slots__ = ("klass",)
+
     def __init__(
         self, env: "Environment", pool: "ThreadPool", owner: Any, klass: str
     ) -> None:
@@ -201,7 +203,7 @@ class ThreadPool(Resource):
             )
         grant = SlotGrant(self.env, self, owner, klass)
         self._waiters.append(grant)
-        if self._tracer.enabled:
+        if self._traced:
             self._trace_wait_begin(grant, klass=klass)
             self._trace_depths(
                 queued=len(self._waiters), active=len(self._running)
@@ -212,6 +214,25 @@ class ThreadPool(Resource):
     def _dispatch(self) -> None:
         """Start queued grants; FIFO, but reservations may let later grants
         of a reserved class jump over blocked unreserved ones."""
+        if not self._reservations:
+            # Pure FIFO fast path (the overwhelmingly common case): no
+            # headroom math, no deque copy -- pop heads while slots and
+            # waiters remain.  Grant order is identical to the general
+            # loop below.
+            waiters = self._waiters
+            running = self._running
+            now = self.env.now
+            while waiters and len(running) < self.workers:
+                grant = waiters.popleft()
+                running.append(grant)
+                self.total_wait_time += now - grant.request_time
+                if self._traced:
+                    self._trace_granted(grant, klass=grant.klass)
+                    self._trace_depths(
+                        queued=len(waiters), active=len(running)
+                    )
+                grant._mark_granted()
+            return
         progressed = True
         while progressed:
             progressed = False
@@ -220,7 +241,7 @@ class ThreadPool(Resource):
                     self._waiters.remove(grant)
                     self._running.append(grant)
                     self.total_wait_time += self.env.now - grant.request_time
-                    if self._tracer.enabled:
+                    if self._traced:
                         self._trace_granted(grant, klass=grant.klass)
                         self._trace_depths(
                             queued=len(self._waiters),
@@ -229,15 +250,12 @@ class ThreadPool(Resource):
                     grant._mark_granted()
                     progressed = True
                     break
-                if not self._reservations:
-                    # Pure FIFO: if the head cannot run, nobody can.
-                    return
 
     def _close(self, grant: Grant) -> None:
         if grant in self._running:
             self._running.remove(grant)
             self.total_busy_time += grant.hold_time
-            if self._tracer.enabled:
+            if self._traced:
                 self._trace_released(grant)
                 self._trace_depths(
                     queued=len(self._waiters), active=len(self._running)
@@ -249,7 +267,7 @@ class ThreadPool(Resource):
         except ValueError:
             pass
         else:
-            if self._tracer.enabled:
+            if self._traced:
                 self._trace_abandoned(grant)
                 self._trace_depths(
                     queued=len(self._waiters), active=len(self._running)

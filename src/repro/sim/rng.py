@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import List, Optional, Sequence, TypeVar
+from bisect import bisect
+from itertools import accumulate
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -83,6 +85,36 @@ class Rng:
 
     def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
         return self._random.choices(list(items), weights=list(weights), k=1)[0]
+
+    def weighted_chooser(
+        self, items: Sequence[T], weights: Sequence[float]
+    ) -> Callable[[], T]:
+        """Precompiled :meth:`weighted_choice` for a fixed (items, weights).
+
+        Returns a zero-argument callable that draws one item.  The draw is
+        *bit-identical* to ``weighted_choice`` on the same stream -- it
+        replicates ``random.choices``'s arithmetic (one uniform draw,
+        ``bisect`` over the accumulated weights) with the cumulative table
+        built once instead of per call.  Hot arrival loops use this so
+        swapping it in never changes a simulation's sampled sequence
+        (pinned by a regression test).
+        """
+        population = list(items)
+        if len(weights) != len(population):
+            raise ValueError(
+                "the number of weights does not match the population"
+            )
+        cum_weights = list(accumulate(weights))
+        total = cum_weights[-1] + 0.0
+        if total <= 0.0:
+            raise ValueError("total of weights must be greater than zero")
+        hi = len(cum_weights) - 1
+        uniform = self._random.random
+
+        def choose() -> T:
+            return population[bisect(cum_weights, uniform() * total, 0, hi)]
+
+        return choose
 
     def sample(self, items: Sequence[T], k: int) -> List[T]:
         return self._random.sample(list(items), k)

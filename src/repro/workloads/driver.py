@@ -11,14 +11,14 @@ drop).
 
 from __future__ import annotations
 
-from itertools import count
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 from ..core.controller import BaseController
 from ..core.types import CancelSignal, DropRequest, DropSignal, TaskKind
 from ..sim.errors import Interrupt
+from ..sim.events import Event
 from ..sim.metrics import MetricsCollector, RequestRecord, RequestStatus
-from .spec import Workload
+from .spec import OperationFactory, Workload
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..apps.base import Application, Operation
@@ -39,8 +39,12 @@ class Driver:
         self.app = app
         self.controller = controller
         self.collector = collector or MetricsCollector()
-        self._req_seq = count(1)
+        self._req_seq = 1
         self._tracer = env.tracer
+        #: Consolidated per-event hook switch, mirrored from the
+        #: environment (see Environment.hooks_enabled): one cached bool
+        #: instead of a tracer attribute chain per request.
+        self._hooked = env.hooks_enabled
         #: Requests currently in flight (for diagnostics).
         self.inflight = 0
         #: The workload started via :meth:`run_workload` (exposed so
@@ -67,6 +71,40 @@ class Driver:
         self.workload = workload
         for generator in workload.processes(self):
             self.env.process(generator)
+
+    def run_arrivals(
+        self,
+        arrivals: Iterable[Tuple[float, OperationFactory]],
+        client_id: str = "client",
+    ) -> int:
+        """Preload a fully pre-generated arrival stream.
+
+        ``arrivals`` is an ascending sequence of ``(absolute_time,
+        operation_factory)`` pairs (see
+        :func:`repro.workloads.spec.poisson_arrival_stream`).  Each
+        arrival becomes one pre-triggered event whose callback submits
+        the operation, loaded through ``Environment.schedule_batch`` in
+        a single heapify -- no per-arrival source-process wakeup, no
+        per-arrival heap sift.  Returns the number of arrivals loaded.
+
+        Use this for open-loop streams whose rate does not change
+        mid-run; live-rate sources (fault-driven bursts) need the
+        per-arrival :class:`~repro.workloads.spec.OpenLoopSource` path.
+        """
+        env = self.env
+        submit = self.submit
+
+        def deliver(event: Event) -> None:
+            submit(event._value(), client_id=client_id)
+
+        def entries():
+            for at, factory in arrivals:
+                event = Event(env)
+                event._value = factory
+                event.callbacks.append(deliver)
+                yield at, event
+
+        return env.schedule_batch(entries())
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -106,15 +144,15 @@ class Driver:
     def _request(self, op: "Operation", client_id: str):
         env = self.env
         controller = self.controller
-        request_id = next(self._req_seq)
+        request_id = self._req_seq
+        self._req_seq = request_id + 1
         arrival = env.now
         self.collector.note_offered(op_name=op.name)
         self.inflight += 1
         retries = 0
-        tracer = self._tracer
         req_aid = None
-        if tracer.enabled:
-            req_aid = tracer.async_begin(
+        if self._hooked:
+            req_aid = self._tracer.async_begin(
                 arrival,
                 "request",
                 f"{op.name}#{request_id}",

@@ -9,15 +9,55 @@ e.g. "launch a backup query at t = 20 s").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..apps.base import Operation
+    from ..sim.rng import Rng
     from .driver import Driver
 
 #: Factory producing a fresh Operation per arrival (so per-request params
 #: can be randomized without sharing state between requests).
 OperationFactory = Callable[[], "Operation"]
+
+
+def poisson_arrival_stream(
+    rng: "Rng",
+    rate: float,
+    stop_time: float,
+    factory: Optional[OperationFactory] = None,
+    start_time: float = 0.0,
+    mix: Optional[Sequence["MixEntry"]] = None,
+) -> List[Tuple[float, OperationFactory]]:
+    """Pre-generate a Poisson arrival stream for ``Driver.run_arrivals``.
+
+    Returns ascending ``(absolute_time, operation_factory)`` pairs.
+    Pass either a single ``factory`` or a weighted ``mix``.  With a
+    ``mix``, the rng draws (one exponential then one weighted choice per
+    arrival) interleave exactly like :class:`OpenLoopSource.process` at
+    a fixed rate, so the materialized stream is *draw-identical* to what
+    the generator source would submit.  Only for streams whose rate is
+    fixed for the whole run -- live-rate behavior (burst faults) needs
+    the generator source.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if (factory is None) == (mix is None):
+        raise ValueError("pass exactly one of factory or mix")
+    mean = 1.0 / rate
+    exponential = rng.exponential
+    choose = None
+    if mix is not None:
+        choose = rng.weighted_chooser(mix, [m.weight for m in mix])
+    out: List[Tuple[float, OperationFactory]] = []
+    append = out.append
+    t = start_time
+    while True:
+        t += exponential(mean)
+        if t >= stop_time:
+            break
+        append((t, factory if choose is None else choose().factory))
+    return out
 
 
 @dataclass
@@ -60,17 +100,26 @@ class OpenLoopSource:
     def process(self, driver: "Driver"):
         env = driver.env
         rng = driver.app.rng.fork(f"{self.rng_stream}:{self.client_id}")
-        weights = [m.weight for m in self.mix]
+        # Precompiled chooser: draw-for-draw identical to weighted_choice
+        # (see Rng.weighted_chooser), so the sampled sequence is unchanged.
+        choose = rng.weighted_chooser(
+            self.mix, [m.weight for m in self.mix]
+        )
+        exponential = rng.exponential
+        timeout = env.timeout
+        submit = driver.submit
+        client_id = self.client_id
         if self.start_time > 0:
-            yield env.timeout(self.start_time)
+            yield timeout(self.start_time)
         while self.stop_time is None or env.now < self.stop_time:
-            yield env.timeout(
-                rng.exponential(1.0 / (self.rate * self.burst_factor))
+            # self.rate / self.burst_factor are re-read per arrival: both
+            # are live fault-injection hooks.
+            yield timeout(
+                exponential(1.0 / (self.rate * self.burst_factor))
             )
             if self.stop_time is not None and env.now >= self.stop_time:
                 break
-            entry = rng.weighted_choice(self.mix, weights)
-            driver.submit(entry.factory(), client_id=self.client_id)
+            submit(choose().factory(), client_id=client_id)
 
 
 @dataclass
@@ -144,11 +193,13 @@ class ClosedLoopSource:
         env = driver.env
         client_id = f"{self.client_prefix}-{index}"
         rng = driver.app.rng.fork(f"closed:{client_id}")
-        weights = [m.weight for m in self.mix]
+        choose = rng.weighted_chooser(
+            self.mix, [m.weight for m in self.mix]
+        )
         if self.start_time > 0:
             yield env.timeout(self.start_time)
         while self.stop_time is None or env.now < self.stop_time:
-            entry = rng.weighted_choice(self.mix, weights)
+            entry = choose()
             done = driver.submit_and_wait(entry.factory(), client_id)
             yield done
             if self.think_time > 0:

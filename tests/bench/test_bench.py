@@ -1,0 +1,200 @@
+"""Tests for the ``repro bench`` subsystem (cases, runner, gate)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    STANDARD_MIX,
+    BenchReport,
+    calibrate,
+    case_names,
+    check_regression,
+    get_bench_case,
+    run_bench,
+    run_case,
+    speedups,
+    write_report,
+)
+from repro.bench.cases import BenchCase, _timeout_churn
+
+
+def tiny(name="tiny", quick_scale=500, full_scale=500):
+    return BenchCase(
+        name,
+        "tiny timeout churn for tests",
+        _timeout_churn,
+        quick_scale=quick_scale,
+        full_scale=full_scale,
+    )
+
+
+def tiny_report():
+    return run_bench(quick=True, repeats=1, cases=[tiny()])
+
+
+def test_standard_mix_names_unique_and_resolvable():
+    names = case_names()
+    assert len(names) == len(set(names)) == len(STANDARD_MIX)
+    for name in names:
+        assert get_bench_case(name).name == name
+    with pytest.raises(KeyError):
+        get_bench_case("no-such-case")
+
+
+def test_run_case_counts_events_and_time():
+    result = run_case(tiny(), quick=True, repeats=2)
+    assert result.scale == 500
+    assert result.events >= 500  # at least one event per timeout wait
+    assert result.wall_s > 0
+    assert result.sim_time > 0
+    assert result.events_per_sec == result.events / result.wall_s
+    assert result.repeats == 2
+
+
+def test_every_standard_case_runs_at_tiny_scale():
+    # Shrink each case far below quick scale so the whole mix stays fast;
+    # this still executes every case body end to end.  The floor of 5
+    # keeps every case above its internal granularity: the 500-process
+    # waves of process-storm survive the //20, and macro-case-c1 (units
+    # of simulated seconds, quick scale already 5) must stay longer than
+    # its 2 s warm-up.
+    for case in STANDARD_MIX:
+        shrunk = BenchCase(
+            case.name,
+            case.description,
+            case.body,
+            quick_scale=max(case.quick_scale // 20, 5),
+            full_scale=case.full_scale,
+        )
+        result = run_case(shrunk, quick=True, repeats=1)
+        assert result.events > 0, case.name
+        assert result.sim_time > 0, case.name
+
+
+def test_report_dict_schema(tmp_path):
+    report = tiny_report()
+    payload = report.to_dict()
+    assert payload["schema"] == 1
+    assert payload["mode"] == "quick"
+    assert payload["calibration_events_per_sec"] > 0
+    [case] = payload["cases"]
+    assert case["name"] == "tiny"
+    assert case["events_per_sec"] > 0
+    mix = payload["mix"]
+    assert mix["events"] == case["events"]
+    assert mix["normalized"] == pytest.approx(
+        mix["events_per_sec"] / payload["calibration_events_per_sec"],
+        rel=1e-3,
+    )
+    # format() is the CLI's human rendering; smoke it.
+    text = report.format()
+    assert "tiny" in text and "normalized" in text
+
+
+def test_write_report_embeds_baseline_and_speedups(tmp_path):
+    report = tiny_report()
+    baseline = {
+        "cases": [{"name": "tiny", "events_per_sec": 1.0}],
+        "mix": {"events_per_sec": 1.0},
+    }
+    out = tmp_path / "bench.json"
+    write_report(report, str(out), baseline=baseline)
+    payload = json.loads(out.read_text())
+    assert payload["baseline"] == baseline
+    assert payload["speedup"]["per_case"]["tiny"] > 0
+    assert payload["speedup"]["mix"] > 0
+    assert payload["speedup"]["mix"] == pytest.approx(
+        payload["mix"]["events_per_sec"], rel=0.01
+    )
+
+
+def test_speedups_skips_unknown_cases():
+    current = {
+        "cases": [{"name": "a", "events_per_sec": 10.0}],
+        "mix": {"events_per_sec": 10.0},
+    }
+    baseline = {
+        "cases": [{"name": "b", "events_per_sec": 5.0}],
+        "mix": {},
+    }
+    out = speedups(current, baseline)
+    assert out["per_case"] == {}
+    assert "mix" not in out
+
+
+def test_check_regression_passes_same_machine(tmp_path):
+    report = tiny_report()
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    assert check_regression(report, str(out), max_regression=0.2) == []
+
+
+def slowed(report, factor):
+    """A copy of ``report`` whose cases took ``factor``x the wall time
+    (same calibration): both raw and normalized mix drop by 1/factor."""
+    from repro.bench import CaseResult
+
+    return BenchReport(
+        mode=report.mode,
+        repeats=report.repeats,
+        calibration_events_per_sec=report.calibration_events_per_sec,
+        cases=[
+            CaseResult(
+                name=c.name,
+                description=c.description,
+                scale=c.scale,
+                events=c.events,
+                wall_s=c.wall_s * factor,
+                sim_time=c.sim_time,
+                repeats=c.repeats,
+            )
+            for c in report.cases
+        ],
+    )
+
+
+def test_check_regression_flags_real_slowdown(tmp_path):
+    report = tiny_report()
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    failures = check_regression(slowed(report, 2.0), str(out))
+    assert failures and "mix regression" in failures[0]
+
+
+def test_check_regression_is_two_sided(tmp_path):
+    # Only the normalized number degraded (e.g. calibration caught a CPU
+    # burst the cases missed): raw throughput is unchanged, so no fail.
+    report = tiny_report()
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    norm_only = BenchReport(
+        mode=report.mode,
+        repeats=report.repeats,
+        calibration_events_per_sec=report.calibration_events_per_sec * 10,
+        cases=report.cases,
+    )
+    assert check_regression(norm_only, str(out)) == []
+    # Only the raw number degraded (e.g. a uniformly slower host): the
+    # normalized number is unchanged, so no fail either.
+    raw_only = slowed(report, 2.0)
+    raw_only.calibration_events_per_sec /= 2.0
+    assert check_regression(raw_only, str(out)) == []
+
+
+def test_check_regression_fails_closed_on_bad_baseline(tmp_path):
+    report = tiny_report()
+    missing = tmp_path / "nope.json"
+    assert check_regression(report, str(missing))
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    assert check_regression(report, str(corrupt))
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    failures = check_regression(report, str(empty))
+    assert failures and "no mix/normalized numbers" in failures[0]
+
+
+def test_calibration_is_positive_and_repeatable():
+    a = calibrate(entries=5_000)
+    assert a > 0

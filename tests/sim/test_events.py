@@ -144,3 +144,33 @@ class TestConditions:
         p = env.process(waiter(env))
         env.run()  # must not raise
         assert p.value == ["ok"]
+
+
+class TestTriggerChaining:
+    def test_trigger_copies_success(self, env):
+        src = env.event().succeed("payload")
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.triggered and dst.ok
+        assert dst.value == "payload"
+
+    def test_trigger_copies_failure(self, env):
+        src = env.event()
+        src.fail(ValueError("boom"))
+        src.defused = True
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.triggered and not dst.ok
+        dst.defused = True
+
+    def test_trigger_from_untriggered_source_raises(self, env):
+        # Regression: chaining an untriggered event used to propagate the
+        # internal PENDING sentinel as the value instead of erroring.
+        src = env.event()
+        dst = env.event()
+        with pytest.raises(RuntimeError, match="has not been triggered"):
+            dst.trigger(src)
+        # The destination must be left untouched (still usable).
+        assert not dst.triggered
+        dst.succeed("ok")
+        assert dst.value == "ok"

@@ -69,3 +69,27 @@ def test_randint_bounds_inclusive():
     rng = Rng(2)
     draws = {rng.randint(1, 3) for _ in range(200)}
     assert draws == {1, 2, 3}
+
+
+def test_weighted_chooser_bit_identical_to_weighted_choice():
+    """The precompiled chooser must replicate weighted_choice exactly:
+    same draws AND same stream position (one uniform per draw), so
+    swapping it into a hot loop never changes a simulation."""
+    items = ["a", "b", "c", "d"]
+    weights = [0.5, 0.25, 0.2, 0.05]
+    for seed in (0, 7, 12345):
+        ref, fast = Rng(seed), Rng(seed)
+        choose = fast.weighted_chooser(items, weights)
+        assert [ref.weighted_choice(items, weights) for _ in range(5000)] == [
+            choose() for _ in range(5000)
+        ]
+        # Stream position: the next raw draw must agree too.
+        assert ref.random() == fast.random()
+
+
+def test_weighted_chooser_validation():
+    rng = Rng(0)
+    with pytest.raises(ValueError):
+        rng.weighted_chooser(["a", "b"], [1.0])
+    with pytest.raises(ValueError):
+        rng.weighted_chooser(["a", "b"], [0.0, 0.0])

@@ -80,3 +80,19 @@ class TestRepoDocs:
         assert observability.exists()
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/OBSERVABILITY.md" in readme
+
+    def test_performance_doc_exists_and_linked(self):
+        performance = REPO_ROOT / "docs" / "PERFORMANCE.md"
+        assert performance.exists()
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/PERFORMANCE.md" in readme
+        architecture = (
+            REPO_ROOT / "docs" / "ARCHITECTURE.md"
+        ).read_text()
+        assert "PERFORMANCE.md" in architecture
+
+    def test_bench_snapshot_exists_and_documented(self):
+        snapshot = REPO_ROOT / "BENCH_6.json"
+        assert snapshot.exists()
+        performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+        assert "BENCH_6.json" in performance
