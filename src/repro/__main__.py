@@ -13,7 +13,9 @@ Usage::
     python -m repro trace fig3 --out trace.json [--util util.csv]
     python -m repro report fig2 [--out report.html] [--live]
     python -m repro bench [--quick] [--out FILE] [--case NAME]
-    python -m repro bench --quick --baseline BENCH_6.json [--max-regression R]
+    python -m repro bench --quick --baseline BENCH_7.json [--max-regression R]
+    python -m repro cluster [--mode compare|none|local|coordinated]
+    python -m repro cluster --nodes 3 --mode coordinated --digest [--jobs N]
     python -m repro faults list
     python -m repro faults run --plan lossy-initiator [--case c1] [--system atropos]
     python -m repro faults matrix [--full] [--jobs N]
@@ -483,6 +485,44 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    from .cluster import demo_fleet, run_fleet
+
+    if args.mode == "compare":
+        from .experiments.cluster_attribution import run as run_comparison
+
+        result = run_comparison(
+            quick=not args.full,
+            seed=args.seed,
+            jobs=args.jobs,
+            n_nodes=args.nodes,
+            policy=args.policy,
+        )
+        print(result.format())
+        return 0
+
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if args.epoch is not None:
+        overrides["epoch"] = args.epoch
+    spec = demo_fleet(
+        n_nodes=args.nodes,
+        backends=tuple(args.backends),
+        policy=args.policy,
+        mode=args.mode,
+        seed=args.seed,
+        **overrides,
+    )
+    result = run_fleet(spec, jobs=args.jobs)
+    print(result.render())
+    if args.digest:
+        print(f"digest {result.digest()}")
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .campaign.store import ResultStore, default_cache_dir
 
@@ -693,7 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", default=None, metavar="FILE",
-        help="write the report JSON here (e.g. BENCH_6.json)",
+        help="write the report JSON here (e.g. BENCH_7.json)",
     )
     p_bench.add_argument(
         "--embed-baseline", default=None, metavar="FILE",
@@ -710,6 +750,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional regression for --baseline (default 0.2)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="fleet simulation: LB routing + cross-node culprit attribution",
+    )
+    from .cluster.routing import policy_names
+    from .cluster.spec import BACKENDS, MODES
+
+    p_cluster.add_argument(
+        "--nodes", type=int, default=3, metavar="N",
+        help="number of app nodes in the fleet (default 3)",
+    )
+    p_cluster.add_argument(
+        "--backends", nargs="+", default=list(BACKENDS), choices=BACKENDS,
+        help="backend cycle assigned to nodes (default: mysql postgres)",
+    )
+    p_cluster.add_argument(
+        "--policy", default="least-outstanding", choices=policy_names(),
+        help="load-balancer routing policy (default least-outstanding)",
+    )
+    p_cluster.add_argument(
+        "--mode", default="compare", choices=list(MODES) + ["compare"],
+        help="control mode, or 'compare' to run all three (default)",
+    )
+    p_cluster.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="simulated seconds (default 30)",
+    )
+    p_cluster.add_argument(
+        "--warmup", type=float, default=None, metavar="S",
+        help="seconds excluded from the report (default 5)",
+    )
+    p_cluster.add_argument(
+        "--epoch", type=float, default=None, metavar="S",
+        help="coordinator scrape / LB sync interval (default 0.5)",
+    )
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--full", action="store_true",
+        help="longer runs for --mode compare (30s instead of 16s)",
+    )
+    p_cluster.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard node simulations across N workers "
+        "(default: $REPRO_JOBS or 1; serial and sharded runs are "
+        "byte-identical)",
+    )
+    p_cluster.add_argument(
+        "--digest", action="store_true",
+        help="print the run's canonical sha256 (determinism checks)",
+    )
+    p_cluster.set_defaults(func=cmd_cluster)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the result store"

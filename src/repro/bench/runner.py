@@ -26,7 +26,7 @@ from .cases import STANDARD_MIX, BenchCase, events_scheduled
 
 #: Default output path at the repo root (n = the PR that added/refreshed
 #: the snapshot; keep history, bump n on re-anchors).
-DEFAULT_BENCH_PATH = "BENCH_6.json"
+DEFAULT_BENCH_PATH = "BENCH_7.json"
 
 #: Bench report schema version.
 SCHEMA = 1
@@ -43,6 +43,9 @@ class CaseResult:
     wall_s: float
     sim_time: float
     repeats: int
+    #: Mirrors :attr:`BenchCase.in_mix`: whether this case counts toward
+    #: the mix aggregate (regression-gated); False = reported only.
+    in_mix: bool = True
 
     @property
     def events_per_sec(self) -> float:
@@ -58,6 +61,7 @@ class CaseResult:
             "sim_time": round(self.sim_time, 6),
             "events_per_sec": round(self.events_per_sec, 1),
             "repeats": self.repeats,
+            "in_mix": self.in_mix,
         }
 
 
@@ -71,12 +75,17 @@ class BenchReport:
     cases: List[CaseResult] = field(default_factory=list)
 
     @property
+    def mix_cases(self) -> List[CaseResult]:
+        """Cases counted in the mix aggregate (``in_mix=True`` only)."""
+        return [case for case in self.cases if case.in_mix]
+
+    @property
     def mix_events(self) -> int:
-        return sum(case.events for case in self.cases)
+        return sum(case.events for case in self.mix_cases)
 
     @property
     def mix_wall_s(self) -> float:
-        return sum(case.wall_s for case in self.cases)
+        return sum(case.wall_s for case in self.mix_cases)
 
     @property
     def mix_events_per_sec(self) -> float:
@@ -117,9 +126,12 @@ class BenchReport:
             f"{'case':<18} {'events':>9} {'wall':>9} {'events/sec':>12} "
             f"{'sim-time':>9}",
         ]
+        extras = False
         for case in self.cases:
+            marker = "" if case.in_mix else "*"
+            extras = extras or not case.in_mix
             lines.append(
-                f"{case.name:<18} {case.events:>9,} "
+                f"{case.name + marker:<18} {case.events:>9,} "
                 f"{case.wall_s:>8.3f}s {case.events_per_sec:>12,.0f} "
                 f"{case.sim_time:>8.2f}s"
             )
@@ -129,6 +141,8 @@ class BenchReport:
             f"{self.mix_events_per_sec:>12,.0f} "
             f"{'(normalized ' + format(self.normalized_mix, '.3f') + ')':>9}"
         )
+        if extras:
+            lines.append("* timed individually, excluded from the mix")
         return "\n".join(lines)
 
 
@@ -201,6 +215,7 @@ def run_case(case: BenchCase, quick: bool, repeats: int = 3) -> CaseResult:
         wall_s=best_wall,
         sim_time=sim_time,
         repeats=max(1, repeats),
+        in_mix=case.in_mix,
     )
 
 

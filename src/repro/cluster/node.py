@@ -1,0 +1,415 @@
+"""One fleet node: its own sim environment, app, driver, and pipeline.
+
+A :class:`ClusterNode` wraps a complete single-node simulation (exactly
+the stack :func:`repro.experiments.harness.run_simulation` assembles)
+behind an epoch-synchronized ``advance`` API: the fleet hands it the
+epoch's routed arrivals and any coordinator directives, the node runs
+its environment to the epoch end, and returns a JSON-able
+:class:`NodeStatus` snapshot.  Because a node never touches another
+node's state mid-epoch, the same ``advance`` calls produce byte-identical
+results whether nodes live in one process or are sharded across workers.
+
+Cluster ops (``point``/``write``/``heavy_report``/``fanout_scan``) are
+registered as *alias handlers* that dispatch to the backend's native
+handlers, so request records, candidate evidence, and cancel signals all
+carry the cluster-level op names the coordinator aggregates by.
+
+Directive delivery reuses :mod:`repro.core.distributed`: each cancel
+directive builds a :class:`~repro.core.distributed.TaskTree` over the
+node's matching live tasks and propagates with per-hop delay; a
+partitioned node (spec ``partitions``) defers the directive and retries
+it on later epochs, and tasks another path already cancelled count as
+delivered (``already-cancelling``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..apps.mysql import MySQL, MySQLConfig
+from ..apps.postgres import PostgreSQL, PostgresConfig
+from ..apps.base import Operation
+from ..core.atropos import Atropos
+from ..core.config import AtroposConfig
+from ..core.distributed import Node as DistNode
+from ..core.distributed import TaskTree
+from ..core.task import CancellableTask
+from ..core.types import CancelSignal
+from ..sim.environment import Environment
+from ..sim.metrics import MetricsCollector, percentile
+from ..sim.rng import Rng
+from ..workloads.driver import Driver
+from .directives import CANCEL, Directive
+from .spec import FleetSpec, NodeSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: Arrival tuple crossing the LB -> node boundary (picklable).
+#: ``(time, op, params, client_id)``.
+Arrival = tuple
+
+
+@dataclass
+class NodeStatus:
+    """One node's epoch-end snapshot (crosses shard-process pipes)."""
+
+    node: str
+    backend: str
+    epoch: int
+    t: float
+    outstanding: int = 0
+    offered_window: int = 0
+    completed_window: int = 0
+    cancelled_window: int = 0
+    dropped_window: int = 0
+    completions_by_op: Dict[str, int] = field(default_factory=dict)
+    #: Latencies of completed victim ("point") requests this window.
+    victim_latencies: List[float] = field(default_factory=list)
+    p99_window: float = float("nan")
+    goodput_window: float = 0.0
+    #: Contention-weighted candidate scores by op (the audit
+    #: scalarization of §3.5, summed over live tasks), from the node's
+    #: most recent overload assessment.
+    candidates: Dict[str, float] = field(default_factory=dict)
+    #: Normalized contention per resource from the same assessment.
+    blame: Dict[str, float] = field(default_factory=dict)
+    #: Ops cancelled by the node's *local* pipeline this window.
+    local_cancelled_ops: List[str] = field(default_factory=list)
+    #: Tasks cancelled by coordinator directives this window.
+    directive_cancels_window: int = 0
+    #: Directives still pending delivery (node partitioned).
+    directives_deferred: int = 0
+    #: DAGOR feedback: highest op priority value the node admits.
+    admit_priority: int = 99
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dict(self.__dict__)
+        out["victim_latencies"] = list(self.victim_latencies)
+        out["completions_by_op"] = dict(self.completions_by_op)
+        out["candidates"] = {
+            k: round(v, 9) for k, v in sorted(self.candidates.items())
+        }
+        out["blame"] = {
+            k: round(v, 9) for k, v in sorted(self.blame.items())
+        }
+        return out
+
+
+class ClusterNode:
+    """One app node, advanced epoch by epoch."""
+
+    def __init__(
+        self, spec: FleetSpec, node_spec: NodeSpec, index: int
+    ) -> None:
+        self.spec = spec
+        self.node_spec = node_spec
+        self.index = index
+        self.name = node_spec.name
+        self.backend = node_spec.backend
+        self.env = Environment()
+        rng = Rng(spec.seed).fork(f"cluster:{self.name}")
+        config = AtroposConfig(
+            slo_latency=spec.slo_latency,
+            cancellation_enabled=(spec.mode == "local"),
+        )
+        self.controller = Atropos(self.env, config)
+        if node_spec.backend == "mysql":
+            self.app = MySQL(
+                self.env,
+                self.controller,
+                rng,
+                MySQLConfig(
+                    tables=spec.tables,
+                    pages_per_light_op=spec.mysql_pages_per_light_op,
+                    miss_penalty=spec.mysql_miss_penalty,
+                ),
+            )
+        else:
+            self.app = PostgreSQL(
+                self.env,
+                self.controller,
+                rng,
+                PostgresConfig(tables=spec.tables),
+            )
+        self._register_cluster_ops()
+        self.controller.bind(self.app)
+        if spec.mode != "none":
+            self.controller.start()
+        self.collector = MetricsCollector()
+        self.driver = Driver(self.env, self.app, self.controller, self.collector)
+        #: Reachability handle for the coordinator's failure model.
+        self.dist_node = DistNode(self.name)
+        #: Directives awaiting delivery (node was partitioned).
+        self.pending_directives: List[Directive] = []
+        #: Tasks cancelled through coordinator directives (total).
+        self.directive_cancels = 0
+        #: Ops those directive cancels targeted, in delivery order.
+        self.directive_cancelled_ops: List[str] = []
+        self._directive_seq = 0
+        # Window bookkeeping for status diffs.
+        self._record_idx = 0
+        self._offered_last = 0
+        self._cancel_log_idx = 0
+        self._directive_cancels_last = 0
+
+    # ------------------------------------------------------------------
+    # Cluster-op alias handlers
+    # ------------------------------------------------------------------
+    def _register_cluster_ops(self) -> None:
+        app = self.app
+        spec = self.spec
+        if self.backend == "mysql":
+
+            def point(task, table=0):
+                yield from app.point_select(task, table=table)
+
+            def write(task, table=0):
+                yield from app.row_update(task, table=table)
+
+            def heavy_report(task):
+                yield from app.report_query(
+                    task,
+                    pages=spec.report_pages,
+                    duration=spec.report_duration,
+                )
+
+            def fanout_scan(task, rows=0.0):
+                yield from app.scan(task, table=0, rows=rows)
+
+        else:
+
+            def point(task, table=0):
+                yield from app.select(task, table=table)
+
+            def write(task, table=0):
+                yield from app.update(task, table=table)
+
+            def heavy_report(task):
+                yield from app.bulk_update(task, table=0, rows=spec.report_rows)
+
+            def fanout_scan(task, rows=0.0):
+                yield from app.vacuum(
+                    task, total_bytes=rows * spec.pg_bytes_per_row
+                )
+
+        app.register_handler("point", point)
+        app.register_handler("write", write)
+        app.register_handler("heavy_report", heavy_report)
+        app.register_handler("fanout_scan", fanout_scan)
+
+    # ------------------------------------------------------------------
+    # Epoch advance
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        epoch: int,
+        t_end: float,
+        arrivals: List[Arrival],
+        directives: List[Directive],
+    ) -> NodeStatus:
+        """Run this node's environment to ``t_end`` and snapshot it."""
+        self._apply_partition_schedule(self.env.now)
+        if directives:
+            self.pending_directives.extend(directives)
+        if self.pending_directives and self.dist_node.reachable:
+            due = self.pending_directives
+            self.pending_directives = []
+            for directive in due:
+                self.env.process(self._apply_directive(directive))
+        if arrivals:
+            by_client: Dict[str, List] = {}
+            for t, op, params, client in arrivals:
+                by_client.setdefault(client, []).append(
+                    (t, self._make_op(op, params))
+                )
+            for client, entries in by_client.items():
+                self.driver.run_arrivals(entries, client_id=client)
+        self.env.run(until=t_end)
+        return self._status(epoch, t_end)
+
+    def _make_op(self, op: str, params: Dict[str, Any]):
+        def factory(op=op, params=params):
+            return Operation(op, dict(params))
+
+        return factory
+
+    def _apply_partition_schedule(self, now: float) -> None:
+        partitioned = any(
+            node == self.name and start <= now < end
+            for node, start, end in self.spec.partitions
+        )
+        if partitioned and not self.dist_node.partitioned:
+            self.dist_node.partition()
+        elif not partitioned and self.dist_node.partitioned:
+            self.dist_node.heal()
+
+    def _apply_directive(self, directive: Directive):
+        """Process generator: deliver one cancel directive via TaskTree."""
+        if directive.kind != CANCEL:
+            return
+        targets = [
+            task
+            for task in self.controller.live_tasks()
+            if task.op_name == directive.op and task.cancellable
+        ]
+        if not targets:
+            return
+        self._directive_seq += 1
+        root = CancellableTask(
+            self.env,
+            key=f"{self.name}:directive:{self._directive_seq}",
+            op_name="cluster-directive",
+            client_id="coordinator",
+            cancellable=False,
+        )
+        tree = TaskTree(
+            self.env, root, propagation_delay=self.spec.directive_delay
+        )
+        for task in targets:
+            tree.add_child(task, self.dist_node)
+        signal = CancelSignal(
+            reason=f"cluster-directive:{directive.op}",
+            decided_at=self.env.now,
+        )
+        deliveries = yield from tree.cancel_all(signal)
+        self._count_directive_deliveries(deliveries, directive.op)
+        if tree.undelivered():
+            yield self.env.timeout(self.spec.directive_delay)
+            retried = yield from tree.retry_undelivered(signal)
+            self._count_directive_deliveries(retried, directive.op)
+
+    def _count_directive_deliveries(self, deliveries, op: str) -> None:
+        fresh = sum(1 for d in deliveries if d.delivered and not d.reason)
+        self.directive_cancels += fresh
+        self.directive_cancelled_ops.extend([op] * fresh)
+
+    # ------------------------------------------------------------------
+    # Status snapshot
+    # ------------------------------------------------------------------
+    def _status(self, epoch: int, t_end: float) -> NodeStatus:
+        spec = self.spec
+        records = self.collector.records
+        window = records[self._record_idx:]
+        self._record_idx = len(records)
+        offered_total = self.collector.offered
+        offered_window = offered_total - self._offered_last
+        self._offered_last = offered_total
+        status = NodeStatus(
+            node=self.name,
+            backend=self.backend,
+            epoch=epoch,
+            t=t_end,
+            outstanding=self.driver.inflight,
+            offered_window=offered_window,
+        )
+        window_len = max(spec.epoch, 1e-9)
+        good = 0
+        for record in window:
+            if record.completed:
+                status.completed_window += 1
+                status.completions_by_op[record.op_name] = (
+                    status.completions_by_op.get(record.op_name, 0) + 1
+                )
+                if record.op_name == "point":
+                    status.victim_latencies.append(record.latency)
+                if record.latency <= spec.slo_latency:
+                    good += 1
+            elif record.status.value == "cancelled":
+                status.cancelled_window += 1
+            else:
+                status.dropped_window += 1
+        status.goodput_window = good / window_len
+        if status.victim_latencies:
+            status.p99_window = percentile(status.victim_latencies, 99)
+        self._fill_candidates(status)
+        log = self.controller.cancellation.log
+        status.local_cancelled_ops = [
+            entry.op_name
+            for entry in log[self._cancel_log_idx:]
+            if getattr(entry, "delivered", True)
+        ]
+        self._cancel_log_idx = len(log)
+        status.directive_cancels_window = (
+            self.directive_cancels - self._directive_cancels_last
+        )
+        self._directive_cancels_last = self.directive_cancels
+        status.directives_deferred = len(self.pending_directives)
+        status.admit_priority = self._admit_priority(status)
+        return status
+
+    def _fill_candidates(self, status: NodeStatus) -> None:
+        """Report the audit scalarization of the latest assessment.
+
+        Only live tasks count (a finished culprit frees nothing), and
+        only while the node still sees meaningful contention -- a stale
+        assessment from a recovered node must not keep accusing ops.
+        """
+        assessment = self.controller.last_assessment
+        if assessment is None:
+            return
+        threshold = self.controller.config.contention_threshold
+        blame = assessment.blame_scores()
+        if max(blame.values(), default=0.0) < 0.5 * threshold:
+            return
+        status.blame = dict(blame)
+        weights = {
+            r.resource: r.contention_norm for r in assessment.resources
+        }
+        for report in assessment.tasks:
+            task = report.task
+            if not task.alive:
+                continue
+            score = sum(
+                weights.get(resource, 0.0) * gain
+                for resource, gain in report.gains.items()
+            )
+            if score > 0.0:
+                status.candidates[task.op_name] = (
+                    status.candidates.get(task.op_name, 0.0) + score
+                )
+
+    def _admit_priority(self, status: NodeStatus) -> int:
+        """DAGOR feedback: tighten admission as the window p99 degrades."""
+        spec = self.spec
+        p99 = status.p99_window
+        if p99 != p99:  # no victim completions: stay open
+            return 99
+        if p99 > 2.0 * spec.slo_latency:
+            return 1  # only point + write
+        if p99 > spec.slo_latency * spec.slo_slack:
+            return 2  # shed fanout_scan
+        return 99
+
+    # ------------------------------------------------------------------
+    # Final report
+    # ------------------------------------------------------------------
+    def finish(self) -> Dict[str, Any]:
+        """Per-node end-of-run report (picklable)."""
+        from ..sim.metrics import Summary
+
+        spec = self.spec
+        effective = spec.duration - spec.warmup
+        summary = Summary.from_collector(
+            self.collector.trimmed(spec.warmup), effective
+        )
+        log = self.controller.cancellation.log
+        return {
+            "node": self.name,
+            "backend": self.backend,
+            "throughput": summary.throughput,
+            "p99_latency": summary.p99_latency,
+            "completed": summary.completed,
+            "cancelled": summary.cancelled,
+            "dropped": summary.dropped,
+            "local_cancels": int(self.controller.cancels_issued),
+            "local_cancelled_ops": [
+                entry.op_name
+                for entry in log
+                if getattr(entry, "delivered", True)
+            ],
+            "directive_cancels": int(self.directive_cancels),
+            "directive_cancelled_ops": list(self.directive_cancelled_ops),
+            "regular_overloads": int(self.controller.regular_overloads),
+        }

@@ -1,0 +1,121 @@
+"""Pluggable load-balancer routing policies.
+
+Policies choose a node index for each arrival from a list of
+:class:`NodeView` snapshots (the LB's *estimate* of node state -- its
+own outstanding counters corrected by the per-epoch status feedback, not
+ground truth, exactly like a real LB).  All randomness draws from the
+balancer's forked rng, so routing is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Type
+
+from .directives import priority_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.rng import Rng
+
+
+@dataclass
+class NodeView:
+    """The LB's per-node state estimate at routing time."""
+
+    index: int
+    name: str
+    #: Assigned-minus-reported-finished request estimate.
+    outstanding: int = 0
+    #: DAGOR upstream feedback: highest op priority value the node is
+    #: currently willing to admit (see NodeStatus.admit_priority).
+    admit_priority: int = 99
+
+
+class RoutingPolicy:
+    """Base class: choose a node index for one arrival (None = shed)."""
+
+    name = "routing"
+
+    def choose(
+        self, op: str, views: List[NodeView], rng: "Rng"
+    ) -> Optional[int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RoundRobin(RoutingPolicy):
+    """Cycle through nodes in order, ignoring load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, op, views, rng):
+        view = views[self._cursor % len(views)]
+        self._cursor += 1
+        return view.index
+
+
+class LeastOutstanding(RoutingPolicy):
+    """Send to the node with the fewest outstanding requests."""
+
+    name = "least-outstanding"
+
+    def choose(self, op, views, rng):
+        best = min(views, key=lambda v: (v.outstanding, v.index))
+        return best.index
+
+
+class PowerOfTwoChoices(RoutingPolicy):
+    """Sample two distinct nodes, pick the less loaded (classic p2c)."""
+
+    name = "p2c"
+
+    def choose(self, op, views, rng):
+        if len(views) == 1:
+            return views[0].index
+        first, second = rng.sample(views, 2)
+        best = min((first, second), key=lambda v: (v.outstanding, v.index))
+        return best.index
+
+
+class DagorAdmission(RoutingPolicy):
+    """DAGOR-style priority admission with upstream feedback.
+
+    Each node reports the highest priority value it still admits
+    (tightened when its window p99 breaches the SLO); the LB sheds
+    arrivals no node will admit and routes the rest to the least-loaded
+    admitting node.  Overload feedback thus flows through the
+    admission/routing tier (arxiv 1806.04075) instead of piling retries
+    onto a saturated replica.
+    """
+
+    name = "dagor"
+
+    def choose(self, op, views, rng):
+        priority = priority_of(op)
+        admitting = [v for v in views if priority <= v.admit_priority]
+        if not admitting:
+            return None  # shed at the LB
+        best = min(admitting, key=lambda v: (v.outstanding, v.index))
+        return best.index
+
+
+_POLICIES: Dict[str, Type[RoutingPolicy]] = {
+    cls.name: cls
+    for cls in (RoundRobin, LeastOutstanding, PowerOfTwoChoices, DagorAdmission)
+}
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None
+
+
+def policy_names() -> List[str]:
+    return sorted(_POLICIES)

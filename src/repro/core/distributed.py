@@ -156,7 +156,17 @@ class TaskTree:
                 task=task, node=node.name, delivered=True, at=now,
                 reason="already-finished",
             )
-        if task.state.value == "running" and task.cancel_count == 0:
+        if task.cancel_count > 0:
+            # A previous delivery (or another cancellation path) already
+            # reached this task; it is unwinding.  The signal is moot, so
+            # the delivery counts as done rather than failed -- otherwise
+            # retry passes keep producing spurious failure records until
+            # the task finishes unwinding.
+            return Delivery(
+                task=task, node=node.name, delivered=True, at=now,
+                reason="already-cancelling",
+            )
+        if task.state.value == "running":
             task.begin_cancel(signal)
             default_initiator(task, signal)
             return Delivery(task=task, node=node.name, delivered=True, at=now)
@@ -166,13 +176,36 @@ class TaskTree:
         )
 
     def undelivered(self) -> List[Delivery]:
-        """Deliveries that failed and whose task is still alive."""
-        return [
-            d for d in self.deliveries if not d.delivered and d.task.alive
-        ]
+        """Deliveries still owed: per child, the *latest* attempt failed.
+
+        Only the most recent delivery per task decides -- earlier failed
+        attempts are superseded by a later success (heal -> retry) or a
+        later failure (so one task contributes one entry, never one per
+        historical attempt).  Tasks that finished or are already
+        unwinding a cancellation are excluded.  Order follows child
+        registration order, matching :meth:`cancel_all`.
+        """
+        latest: Dict[int, Delivery] = {}
+        for delivery in self.deliveries:
+            latest[id(delivery.task)] = delivery
+        owed: List[Delivery] = []
+        for key, (task, _node) in self._children.items():
+            delivery = latest.get(key)
+            if delivery is None or delivery.delivered:
+                continue
+            if not task.alive or task.cancel_count > 0:
+                continue
+            owed.append(delivery)
+        return owed
 
     def retry_undelivered(self, signal: Optional[CancelSignal] = None):
-        """Process generator: re-attempt failed deliveries (healed nodes)."""
+        """Process generator: re-attempt failed deliveries (healed nodes).
+
+        The snapshot of owed deliveries is taken once per pass (one
+        retry per still-unreached child per pass), and each re-attempt
+        pays the same per-hop propagation delay as the original
+        :meth:`cancel_all` fan-out, in the same registration order.
+        """
         signal = signal or CancelSignal(
             reason="distributed-cancel-retry", decided_at=self.env.now
         )

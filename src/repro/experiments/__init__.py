@@ -18,11 +18,13 @@ table3    integration effort
 ========  ====================================================
 
 Beyond the paper's artifacts, ``resilience`` runs the chaos matrix
-(fault kind x intensity via :mod:`repro.faults`) and
-``ablate-adaptive`` compares fixed vs health-driven adaptive thresholds
-(:mod:`repro.core.adaptive`).  Both are opt-in -- ``repro faults
-matrix`` / ``repro ablate-adaptive`` or ``repro run <id>`` -- and not
-part of the default ``repro run`` order.
+(fault kind x intensity via :mod:`repro.faults`), ``ablate-adaptive``
+compares fixed vs health-driven adaptive thresholds
+(:mod:`repro.core.adaptive`), and ``cluster`` compares local-only vs
+coordinated cross-node culprit attribution on a simulated fleet
+(:mod:`repro.cluster`).  All three are opt-in -- ``repro faults
+matrix`` / ``repro ablate-adaptive`` / ``repro cluster`` or ``repro run
+<id>`` -- and not part of the default ``repro run`` order.
 """
 
 from importlib import import_module
@@ -48,6 +50,7 @@ _EXPERIMENT_RUNNERS = {
     "table3": ("table_experiments", "run_table3"),
     "resilience": ("resilience", "run"),
     "ablate-adaptive": ("ablate_adaptive", "run"),
+    "cluster": ("cluster_attribution", "run"),
 }
 
 

@@ -72,6 +72,28 @@ def test_every_standard_case_runs_at_tiny_scale():
         assert result.sim_time > 0, case.name
 
 
+def test_non_mix_case_reported_but_excluded_from_aggregate():
+    extra = BenchCase(
+        "extra",
+        "non-mix case for tests",
+        _timeout_churn,
+        quick_scale=500,
+        full_scale=500,
+        in_mix=False,
+    )
+    report = run_bench(quick=True, repeats=1, cases=[tiny(), extra])
+    assert [c.name for c in report.cases] == ["tiny", "extra"]
+    assert [c.name for c in report.mix_cases] == ["tiny"]
+    assert report.mix_events == report.cases[0].events
+    payload = report.to_dict()
+    assert payload["cases"][0]["in_mix"] is True
+    assert payload["cases"][1]["in_mix"] is False
+    assert payload["mix"]["events"] == report.cases[0].events
+    text = report.format()
+    assert "extra*" in text
+    assert "excluded from the mix" in text
+
+
 def test_report_dict_schema(tmp_path):
     report = tiny_report()
     payload = report.to_dict()

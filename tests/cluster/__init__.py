@@ -1,0 +1,1 @@
+"""Tests for the cluster tier (repro.cluster)."""

@@ -1,0 +1,39 @@
+"""Fleet results must be byte-identical across PYTHONHASHSEEDs.
+
+Same promise the telemetry layer makes (tests/telemetry): nothing on
+the assign -> advance -> observe -> summarize path may depend on dict/
+set iteration order or ``id()``.  The digest covers the entire
+FleetResult payload (latencies, cancels, directives, decisions, health
+events, LB stats, per-node reports).
+"""
+
+import os
+import subprocess
+import sys
+
+_SCRIPT = """
+from repro.cluster import demo_fleet, run_fleet
+
+spec = demo_fleet(n_nodes=3, duration=8.0, warmup=2.0, mode="coordinated")
+print(run_fleet(spec, jobs=1).digest())
+"""
+
+
+def _digest(hash_seed):
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    digest = proc.stdout.strip()
+    assert len(digest) == 64, proc.stderr
+    return digest
+
+
+def test_fleet_digest_identical_across_hash_seeds():
+    digests = {_digest(seed) for seed in ("0", "1", "9973")}
+    assert len(digests) == 1

@@ -1,0 +1,91 @@
+"""Routing-policy unit tests (LB node selection and DAGOR shedding)."""
+
+import pytest
+
+from repro.cluster import (
+    DagorAdmission,
+    LeastOutstanding,
+    NodeView,
+    PowerOfTwoChoices,
+    RoundRobin,
+    make_policy,
+    policy_names,
+)
+from repro.sim.rng import Rng
+
+
+def views(*outstanding, admit=99):
+    return [
+        NodeView(index=i, name=f"node-{i}", outstanding=n,
+                 admit_priority=admit)
+        for i, n in enumerate(outstanding)
+    ]
+
+
+def test_round_robin_cycles_regardless_of_load():
+    policy = RoundRobin()
+    rng = Rng(0)
+    picks = [policy.choose("point", views(9, 0, 5), rng) for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_least_outstanding_picks_min_and_breaks_ties_by_index():
+    policy = LeastOutstanding()
+    rng = Rng(0)
+    assert policy.choose("point", views(4, 1, 3), rng) == 1
+    assert policy.choose("point", views(2, 2, 5), rng) == 0
+
+
+def test_p2c_picks_less_loaded_of_two_samples():
+    policy = PowerOfTwoChoices()
+    rng = Rng(7)
+    vs = views(10, 0, 10, 10)
+    # Whatever pair the rng samples, the winner is never more loaded
+    # than both losers; over many draws the idle node dominates.
+    picks = [policy.choose("point", vs, rng) for _ in range(50)]
+    assert set(picks) <= {0, 1, 2, 3}
+    assert picks.count(1) > 10
+
+
+def test_p2c_single_node_needs_no_sampling():
+    policy = PowerOfTwoChoices()
+    assert policy.choose("point", views(5), Rng(0)) == 0
+
+
+def test_p2c_is_deterministic_per_seed():
+    vs = views(3, 1, 4, 1, 5)
+    runs = []
+    for _ in range(2):
+        policy = PowerOfTwoChoices()
+        rng = Rng(42)
+        runs.append([policy.choose("point", vs, rng) for _ in range(20)])
+    assert runs[0] == runs[1]
+
+
+def test_dagor_routes_critical_ops_to_least_loaded_admitter():
+    policy = DagorAdmission()
+    rng = Rng(0)
+    vs = views(5, 2, 1)
+    vs[2].admit_priority = 0  # only admits the most critical op
+    assert policy.choose("point", vs, rng) == 2  # priority 0, admitted
+    assert policy.choose("fanout_scan", vs, rng) == 1  # node-2 refuses
+
+
+def test_dagor_sheds_when_no_node_admits():
+    policy = DagorAdmission()
+    rng = Rng(0)
+    assert policy.choose("fanout_scan", views(1, 1, admit=0), rng) is None
+    assert policy.choose("point", views(1, 1, admit=0), rng) is not None
+
+
+def test_make_policy_resolves_all_names_and_rejects_unknown():
+    for name in policy_names():
+        assert make_policy(name).name == name
+    with pytest.raises(ValueError, match="unknown routing policy"):
+        make_policy("bogus")
+
+
+def test_policy_names_are_the_documented_four():
+    assert policy_names() == [
+        "dagor", "least-outstanding", "p2c", "round-robin",
+    ]

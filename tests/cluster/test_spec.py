@@ -1,0 +1,78 @@
+"""FleetSpec validation, epoch arithmetic, and serialization."""
+
+import pytest
+
+from repro.cluster import FleetSpec, NodeSpec, demo_fleet
+
+
+def two_nodes():
+    return [NodeSpec("a", "mysql"), NodeSpec("b", "postgres")]
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            NodeSpec("a", backend="oracle")
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="nodes must not be empty"):
+            FleetSpec(nodes=[])
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate node names"):
+            FleetSpec(nodes=[NodeSpec("a"), NodeSpec("a")])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            FleetSpec(nodes=two_nodes(), mode="bogus")
+
+    def test_warmup_must_precede_duration(self):
+        with pytest.raises(ValueError, match="warmup"):
+            FleetSpec(nodes=two_nodes(), duration=10.0, warmup=10.0)
+
+    def test_partition_must_name_known_node(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            FleetSpec(nodes=two_nodes(), partitions=(("ghost", 1.0, 2.0),))
+
+    def test_partition_window_must_be_ordered(self):
+        with pytest.raises(ValueError, match="bad partition window"):
+            FleetSpec(nodes=two_nodes(), partitions=(("a", 5.0, 2.0),))
+
+    def test_demo_fleet_requires_a_node(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            demo_fleet(n_nodes=0)
+
+
+class TestEpochs:
+    def test_epoch_count_covers_duration(self):
+        spec = FleetSpec(nodes=two_nodes(), duration=10.0, epoch=0.5)
+        assert spec.epoch_count() == 20
+        assert spec.epoch_end(0) == 0.5
+        assert spec.epoch_end(19) == 10.0
+
+    def test_last_epoch_clamped_to_duration(self):
+        spec = FleetSpec(nodes=two_nodes(), duration=10.2, epoch=0.5,
+                         warmup=2.0)
+        assert spec.epoch_count() == 21
+        assert spec.epoch_end(20) == 10.2
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = demo_fleet(n_nodes=4, partitions=(("node-1", 1.0, 2.0),))
+        clone = FleetSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.nodes[1] == NodeSpec("node-1", "postgres")
+
+    def test_with_mode_replaces_only_mode(self):
+        spec = demo_fleet(n_nodes=2)
+        local = spec.with_mode("local")
+        assert local.mode == "local"
+        assert local.nodes == spec.nodes
+        assert spec.mode == "coordinated"
+
+    def test_demo_fleet_cycles_backends(self):
+        spec = demo_fleet(n_nodes=3, backends=("postgres", "mysql"))
+        assert [n.backend for n in spec.nodes] == [
+            "postgres", "mysql", "postgres",
+        ]

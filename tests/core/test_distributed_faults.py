@@ -164,6 +164,116 @@ def test_retry_while_still_down_fails_again(env, controller):
     assert len(failures) == 2
 
 
+def test_partition_heal_crash_sequence(env, controller):
+    """partition -> (retry fails) -> heal -> crash -> (retry fails with
+    the new reason) -> restart -> retry delivers.  One owed entry per
+    child throughout, regardless of how many passes failed."""
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.partition()
+
+    run_gen(env, tree.cancel_all())
+    assert [d.reason for d in tree.undelivered()] == ["node-unreachable"]
+
+    retried = run_gen(env, tree.retry_undelivered())
+    assert [d.delivered for d in retried] == [False]
+    # The failed retry supersedes the original failure; it must not
+    # *add* an owed entry (a second pass used to retry the same child
+    # once per historical failure).
+    assert len(tree.undelivered()) == 1
+
+    node.heal()
+    node.crash()  # healed the partition, but the node is down now
+    retried = run_gen(env, tree.retry_undelivered())
+    assert [d.reason for d in retried] == ["node-crashed"]
+    assert len(tree.undelivered()) == 1
+    assert child.alive
+
+    node.restart()
+    retried = run_gen(env, tree.retry_undelivered())
+    assert [d.delivered for d in retried] == [True]
+    env.run(until=env.now + 0.1)
+    assert tree.fully_cancelled()
+    # Final pass: nothing owed, nothing retried.
+    assert tree.undelivered() == []
+    assert run_gen(env, tree.retry_undelivered()) == []
+
+
+def test_repeated_failed_retries_do_not_multiply_attempts(env, controller):
+    """N failed passes leave exactly one owed delivery per child, and the
+    next pass issues exactly one attempt per child."""
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.partition()
+
+    run_gen(env, tree.cancel_all())
+    for _ in range(3):
+        retried = run_gen(env, tree.retry_undelivered())
+        assert len(retried) == 1  # one attempt per pass, not per failure
+        assert len(tree.undelivered()) == 1
+    # 1 original + 3 retries on the permanent record, all for one child.
+    assert len([d for d in tree.deliveries if not d.delivered]) == 4
+    assert child.alive
+
+
+def test_child_already_cancelling_counts_as_delivered(env, controller):
+    """A child that began cancellation through another path is not owed a
+    delivery: the retry records it as delivered (already-cancelling)
+    instead of failing forever while the task unwinds."""
+    log = []
+    node = Node("remote")
+    tree, child = build_tree(env, controller, log, node)
+    node.partition()
+    run_gen(env, tree.cancel_all())
+    assert tree.undelivered()
+
+    # Another cancellation path reaches the task first (e.g. the node's
+    # local controller); the task is unwinding but still alive.
+    child.begin_cancel(CancelSignal(reason="local-cancel", decided_at=env.now))
+    assert child.alive and child.cancel_count == 1
+    assert tree.undelivered() == []
+
+    node.heal()
+    retried = run_gen(env, tree.retry_undelivered())
+    assert retried == []
+    # A fresh cancel_all pass records it as moot, not failed.
+    deliveries = run_gen(env, tree.cancel_all(
+        CancelSignal(reason="second-pass", decided_at=env.now)
+    ))
+    assert deliveries[-1].delivered
+    assert deliveries[-1].reason == "already-cancelling"
+
+
+def test_retry_preserves_registration_order_and_hop_delays(env, controller):
+    """Retries fan out in child registration order, paying the same
+    per-hop propagation delay as the original cancel_all."""
+    log = []
+    root = spawn(env, controller, "root", log)
+    tree = TaskTree(env, root, propagation_delay=0.01)
+    bad_a, bad_b = Node("bad-a"), Node("bad-b")
+    first = spawn(env, controller, "first", log)
+    second = spawn(env, controller, "second", log)
+    tree.add_child(first, bad_a)
+    tree.add_child(second, bad_b)
+    bad_a.partition()
+    bad_b.partition()
+
+    run_gen(env, tree.cancel_all())
+    assert [d.task.op_name for d in tree.undelivered()] == ["first", "second"]
+
+    bad_a.heal()
+    bad_b.heal()
+    start = env.now
+    retried = run_gen(env, tree.retry_undelivered())
+    assert [d.task.op_name for d in retried] == ["first", "second"]
+    assert retried[0].at == pytest.approx(start + 0.01, abs=1e-9)
+    assert retried[1].at == pytest.approx(start + 0.02, abs=1e-9)
+    cancelled_at = {n: t for n, t, _ in log if n != "root"}
+    assert cancelled_at["first"] < cancelled_at["second"]
+
+
 def test_undelivered_skips_tasks_that_finished_anyway(env, controller):
     log = []
     node = Node("remote")

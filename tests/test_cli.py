@@ -108,6 +108,41 @@ class TestParser:
         assert args.out == "r.html"
         assert args.seed == 3
 
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.command == "cluster"
+        assert args.nodes == 3
+        assert args.mode == "compare"
+        assert args.policy == "least-outstanding"
+        assert args.jobs is None
+        assert not args.digest
+
+    def test_cluster_parses_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--nodes", "5", "--mode", "coordinated",
+             "--policy", "p2c", "--backends", "mysql",
+             "--duration", "12", "--warmup", "3", "--epoch", "0.25",
+             "--seed", "7", "--jobs", "2", "--digest"]
+        )
+        assert args.nodes == 5
+        assert args.mode == "coordinated"
+        assert args.policy == "p2c"
+        assert args.backends == ["mysql"]
+        assert args.duration == 12.0
+        assert args.warmup == 3.0
+        assert args.epoch == 0.25
+        assert args.seed == 7
+        assert args.jobs == 2
+        assert args.digest
+
+    def test_cluster_validates_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--mode", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--policy", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--backends", "oracle"])
+
 
 class TestCommands:
     def test_list_exits_zero(self, capsys):
@@ -187,6 +222,16 @@ class TestCommands:
         warm = capsys.readouterr()
         assert warm.out == cold.out
         assert "misses=0" in warm.err
+
+    def test_cluster_single_mode_prints_render_and_digest(self, capsys):
+        assert main(
+            ["cluster", "--mode", "coordinated", "--duration", "8",
+             "--warmup", "2", "--digest"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 3 nodes" in out
+        assert "mode=coordinated" in out
+        assert "digest " in out
 
     def test_report_unknown_experiment_exits_2(self, capsys):
         assert main(["report", "fig99"]) == 2

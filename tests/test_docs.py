@@ -92,7 +92,7 @@ class TestRepoDocs:
         assert "PERFORMANCE.md" in architecture
 
     def test_bench_snapshot_exists_and_documented(self):
-        snapshot = REPO_ROOT / "BENCH_6.json"
-        assert snapshot.exists()
+        for name in ("BENCH_6.json", "BENCH_7.json"):
+            assert (REPO_ROOT / name).exists(), name
         performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
-        assert "BENCH_6.json" in performance
+        assert "BENCH_7.json" in performance
