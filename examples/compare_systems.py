@@ -3,7 +3,8 @@
 
 Runs one of the paper's 16 cases (default: c1, the MySQL backup-lock
 convoy) under every controller -- uncontrolled, ATROPOS, Protego, pBox,
-DARC, PARTIES, SEDA -- and prints the Figure 9-style comparison.
+DARC, PARTIES, SEDA, Breakwater, DAGOR, Autothrottle -- and prints the
+Figure 9-style comparison (see docs/CONTROLLERS.md for the catalog).
 
 Usage::
 
@@ -17,7 +18,7 @@ from repro.cases import all_case_ids, get_case
 
 SYSTEMS = [
     "overload", "atropos", "protego", "pbox", "darc", "parties",
-    "seda", "breakwater",
+    "seda", "breakwater", "dagor", "autothrottle",
 ]
 
 

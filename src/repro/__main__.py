@@ -16,6 +16,8 @@ Usage::
     python -m repro bench --quick --baseline BENCH_7.json [--max-regression R]
     python -m repro cluster [--mode compare|none|local|coordinated]
     python -m repro cluster --nodes 3 --mode coordinated --digest [--jobs N]
+    python -m repro dag [--controller compare|none|atropos|dagor|autothrottle]
+    python -m repro dag --leaves 3 --controller atropos --digest [--jobs N]
     python -m repro faults list
     python -m repro faults run --plan lossy-initiator [--case c1] [--system atropos]
     python -m repro faults matrix [--full] [--jobs N]
@@ -523,6 +525,40 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_dag(args) -> int:
+    from .cluster import run_dag
+    from .workloads.dag import dag_storm
+
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if args.epoch is not None:
+        overrides["epoch"] = args.epoch
+
+    if args.controller == "compare":
+        from .experiments.dag_overload import run as run_comparison
+
+        with _campaign_settings(args):
+            result = run_comparison(
+                quick=not args.full,
+                seed=args.seed,
+                jobs=args.jobs,
+                n_leaves=args.leaves,
+            )
+        print(result.format())
+        _print_campaign_stats()
+        return 0
+
+    spec = dag_storm(n_leaves=args.leaves, seed=args.seed, **overrides)
+    result = run_dag(spec, controller=args.controller, jobs=args.jobs)
+    print(result.render())
+    if args.digest:
+        print(f"digest {result.digest()}")
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .campaign.store import ResultStore, default_cache_dir
 
@@ -606,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--system",
         default="atropos",
         choices=["overload", "atropos", "protego", "pbox", "darc",
-                 "parties", "seda", "breakwater"],
+                 "parties", "seda", "breakwater", "dagor", "autothrottle"],
     )
     p_case.add_argument("--seed", type=int, default=0)
     p_case.add_argument(
@@ -691,7 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
     f_run.add_argument(
         "--system", default="atropos",
         choices=["overload", "atropos", "protego", "pbox", "darc",
-                 "parties", "seda", "breakwater"],
+                 "parties", "seda", "breakwater", "dagor", "autothrottle"],
     )
     f_run.add_argument("--seed", type=int, default=0)
     _add_campaign_flags(f_run)
@@ -802,6 +838,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run's canonical sha256 (determinism checks)",
     )
     p_cluster.set_defaults(func=cmd_cluster)
+
+    p_dag = sub.add_parser(
+        "dag",
+        help="microservice-DAG mesh: cancel vs shed vs throttle on a "
+        "cross-service storm",
+    )
+    from .workloads.dag import DAG_CONTROLLERS
+
+    p_dag.add_argument(
+        "--controller", default="compare",
+        choices=list(DAG_CONTROLLERS) + ["compare"],
+        help="per-service controller, or 'compare' to contrast all four "
+        "via the campaign runner (default)",
+    )
+    p_dag.add_argument(
+        "--leaves", type=int, default=2, metavar="N",
+        help="fan-out leaf services behind the gateway (default 2)",
+    )
+    p_dag.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="simulated seconds (default 24)",
+    )
+    p_dag.add_argument(
+        "--warmup", type=float, default=None, metavar="S",
+        help="seconds excluded from the report (default 4)",
+    )
+    p_dag.add_argument(
+        "--epoch", type=float, default=None, metavar="S",
+        help="mesh RPC / feedback sync interval (default 0.25)",
+    )
+    p_dag.add_argument("--seed", type=int, default=0)
+    p_dag.add_argument(
+        "--full", action="store_true",
+        help="longer runs for --controller compare (24s instead of 16s)",
+    )
+    p_dag.add_argument(
+        "--digest", action="store_true",
+        help="print the run's canonical sha256 (determinism checks)",
+    )
+    # --jobs doubles as mesh shard count for single-controller runs;
+    # serial and sharded runs are byte-identical.
+    _add_campaign_flags(p_dag)
+    p_dag.set_defaults(func=cmd_dag)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the result store"

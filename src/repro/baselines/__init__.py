@@ -13,16 +13,32 @@ applications (§5.1's integration methodology):
 * :class:`Seda` -- classic AIMD admission control (USITS '03).
 * :class:`Breakwater` -- credit-based admission on queueing delay
   (OSDI '20).
+* :class:`Dagor` -- WeChat's priority/user-level admission with
+  upstream feedback (SoCC '18).
+* :class:`Autothrottle` -- bi-level latency-target throttling
+  (per-service fast loop + global tower, NSDI '24).
 """
 
+from .autothrottle import Autothrottle, AutothrottleTower
 from .breakwater import Breakwater
+from .dagor import Dagor
 from .darc import DARC
 from .parties import Parties
 from .pbox import PBox
 from .protego import Protego
 from .seda import Seda
 
-__all__ = ["Breakwater", "DARC", "PBox", "Parties", "Protego", "Seda"]
+__all__ = [
+    "Autothrottle",
+    "AutothrottleTower",
+    "Breakwater",
+    "DARC",
+    "Dagor",
+    "PBox",
+    "Parties",
+    "Protego",
+    "Seda",
+]
 
 
 def controller_factory(
@@ -31,8 +47,9 @@ def controller_factory(
     """Build a controller factory by system name.
 
     Recognized names: "atropos", "protego", "pbox", "darc", "parties",
-    "seda", "overload"/"none" (uncontrolled).  ``atropos_overrides`` are
-    extra :class:`AtroposConfig` fields (used by cases that need e.g. the
+    "seda", "breakwater", "dagor", "autothrottle", "overload"/"none"
+    (uncontrolled).  ``atropos_overrides`` are extra
+    :class:`AtroposConfig` fields (used by cases that need e.g. the
     thread-level cancellation flag).
     """
     from ..core.atropos import Atropos
@@ -61,6 +78,10 @@ def controller_factory(
             return Seda(env, slo_latency=slo_latency)
         if name == "breakwater":
             return Breakwater(env, target_delay=slo_latency)
+        if name == "dagor":
+            return Dagor(env, slo_latency=slo_latency)
+        if name == "autothrottle":
+            return Autothrottle(env, slo_latency=slo_latency)
         if name in ("overload", "none"):
             return NullController(env)
         raise ValueError(f"unknown controller {name!r}")

@@ -1,0 +1,229 @@
+"""DAGOR-style priority/user-level admission [Zhou et al., SoCC '18].
+
+WeChat's overload control (arxiv 1806.04075): every request carries a
+*business priority* (how critical the op is) and a *user level* (a
+stable hash of the client), combined into one compound priority.  Each
+service keeps an **admission level** -- the highest compound priority it
+still admits -- and adjusts it between windows: overloaded windows
+lower the level (shedding the least-critical business class user-slice
+by user-slice), healthy windows raise it one notch at a time.  The
+current level is exported as *upstream feedback* so callers can shed
+doomed RPCs before sending them (the mesh tier reads
+:attr:`Dagor.admit_level` at epoch boundaries).
+
+Like every baseline here it is indiscriminate about *cause*: it cannot
+cancel an admitted culprit, only refuse future work, so an in-flight
+heavy task keeps its resources until it finishes.
+
+Pipeline composition: a shared
+:class:`~repro.core.pipeline.LatencyWindowSource` feeds
+:class:`DagorLevelAdaptation` (the between-window level adjustment --
+an :class:`~repro.core.pipeline.AdaptationPolicy`, since it moves the
+live admission threshold) and :class:`DagorFeedbackAction` (the
+per-window action: publish the feedback snapshot upstream and roll the
+window's rejection counter).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..core.controller import BaseController
+from ..core.pipeline import (
+    ActionPolicy,
+    AdaptationPolicy,
+    ControlPipeline,
+    LatencyWindowSource,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..sim.metrics import RequestRecord
+
+#: Business-priority classes (0 = most critical, admitted longest).
+BUSINESS_LEVELS = 4
+
+#: Op name -> business priority.  Light point reads/writes are the
+#: critical tiers; heavy bulk work is the first to be shed.  Ops not
+#: listed default to :data:`DEFAULT_BUSINESS_PRIORITY`.
+DEFAULT_OP_PRIORITIES: Dict[str, int] = {
+    "point": 0,
+    "point_select": 0,
+    "select": 0,
+    "search": 0,
+    "get": 0,
+    "write": 1,
+    "row_update": 1,
+    "update": 1,
+    "insert": 1,
+    "index": 1,
+    "scan": 3,
+    "fanout_scan": 3,
+    "heavy_report": 3,
+    "report_query": 3,
+    "bulk_update": 3,
+    "vacuum": 3,
+    "backup": 3,
+    "dump": 3,
+    "long_transaction": 3,
+    "slow_query": 3,
+}
+
+DEFAULT_BUSINESS_PRIORITY = 2
+
+
+def user_level(client_id: str, user_levels: int) -> int:
+    """Stable user partition (crc32, never Python ``hash``)."""
+    base = client_id.split("|", 1)[0]
+    return zlib.crc32(base.encode()) % user_levels
+
+
+def compound_priority(
+    op_name: str,
+    client_id: str,
+    user_levels: int,
+    priorities: Optional[Dict[str, int]] = None,
+) -> int:
+    """DAGOR's compound priority: ``business * user_levels + user``."""
+    table = DEFAULT_OP_PRIORITIES if priorities is None else priorities
+    business = table.get(op_name, DEFAULT_BUSINESS_PRIORITY)
+    return business * user_levels + user_level(client_id, user_levels)
+
+
+class DagorLevelAdaptation(AdaptationPolicy):
+    """Between-window admission-level adjustment (the slow half).
+
+    Overloaded window: drop the level by ``shrink_step`` compound
+    notches (shedding whole user slices of the least-critical admitted
+    business class).  Healthy window: raise it one notch -- DAGOR's
+    asymmetric probe back toward full admission.
+    """
+
+    name = "dagor-level"
+
+    def __init__(self, controller: "Dagor") -> None:
+        self.controller = controller
+
+    def adapt(self, now: float, signals: Dict[str, Any]) -> None:
+        c = self.controller
+        tail = signals.get("tail_latency", float("nan"))
+        overloaded = tail == tail and tail > c.slo_latency  # nan-safe
+        c.last_violation = overloaded
+        if overloaded:
+            c.level = max(c.min_level, c.level - c.shrink_step)
+        else:
+            c.level = min(c.max_level, c.level + c.grow_step)
+
+
+class DagorFeedbackAction(ActionPolicy):
+    """Per-window action: publish the upstream feedback snapshot.
+
+    Upstream callers (the mesh's epoch loop, a gateway) see the level
+    as it stood at the last window edge -- the piggy-backed feedback of
+    the paper -- not the live value mid-window.
+    """
+
+    name = "dagor-feedback"
+
+    def __init__(self, controller: "Dagor") -> None:
+        self.controller = controller
+
+    def act(self, now: float, signals: Dict[str, Any]) -> None:
+        c = self.controller
+        c.admit_level = c.level
+        c.feedback_history.append((now, c.level))
+        c.window_rejections = 0
+        signals["admit_level"] = c.level
+
+
+class Dagor(BaseController):
+    """Compound-priority admission with exported upstream feedback."""
+
+    name = "dagor"
+
+    def __init__(
+        self,
+        env: "Environment",
+        slo_latency: float = 0.05,
+        adjust_period: float = 0.2,
+        user_levels: int = 8,
+        shrink_step: Optional[int] = None,
+        grow_step: int = 1,
+        min_level: Optional[int] = None,
+        priorities: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(env)
+        self.slo_latency = slo_latency
+        self.user_levels = user_levels
+        self.priorities = (
+            dict(DEFAULT_OP_PRIORITIES) if priorities is None
+            else dict(priorities)
+        )
+        #: Full admission: the largest compound priority in use.
+        self.max_level = BUSINESS_LEVELS * user_levels - 1
+        #: Never shed the most-critical business class entirely.
+        self.min_level = (
+            user_levels - 1 if min_level is None else min_level
+        )
+        #: Half a business class per overloaded window by default.
+        self.shrink_step = (
+            max(1, user_levels // 2) if shrink_step is None else shrink_step
+        )
+        self.grow_step = grow_step
+        #: Live admission level (moved by the adaptation stage).
+        self.level = self.max_level
+        #: Window-edge feedback snapshot exported upstream.
+        self.admit_level = self.max_level
+        self.rejections = 0
+        self.window_rejections = 0
+        self.last_violation = False
+        self.feedback_history: List[Tuple[float, int]] = []
+        self._window_source = LatencyWindowSource(
+            env, horizon=1.0, percentile=99
+        )
+        self.pipeline = ControlPipeline(
+            env,
+            period=adjust_period,
+            sources=[self._window_source],
+            adaptation=DagorLevelAdaptation(self),
+            action=DagorFeedbackAction(self),
+        )
+
+    @property
+    def window(self):
+        """The completion window (owned by the pipeline's source)."""
+        return self._window_source.window
+
+    def priority_of(self, op_name: str, client_id: str) -> int:
+        return compound_priority(
+            op_name, client_id, self.user_levels, self.priorities
+        )
+
+    def admit(self, op_name: str, client_id: str) -> bool:
+        if self.priority_of(op_name, client_id) <= self.level:
+            return True
+        self.rejections += 1
+        self.window_rejections += 1
+        return False
+
+    def observe_completion(self, record: "RequestRecord") -> None:
+        self.pipeline.observe_completion(record)
+
+    def start(self) -> None:
+        self.pipeline.start()
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        snap = super().telemetry_snapshot()
+        detector = self._window_source.telemetry_snapshot()
+        detector["overloaded"] = 1.0 if self.last_violation else 0.0
+        snap["detector"] = detector
+        snap["admission"] = {
+            "level": self.level,
+            "admit_level": self.admit_level,
+            "max_level": self.max_level,
+            "min_level": self.min_level,
+            "rejections": self.rejections,
+            "user_levels": self.user_levels,
+        }
+        return snap

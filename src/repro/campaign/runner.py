@@ -181,6 +181,22 @@ def _execute_one(spec: RunSpec, label: Optional[str] = None) -> Dict[str, Any]:
         from ..faults import FaultPlan
 
         fault_plan = FaultPlan.from_dict(spec.faults)
+    if build.runner is not None:
+        if fault_plan is not None:
+            raise ValueError(
+                f"family {spec.family!r} runs a custom runner and does "
+                "not support fault plans"
+            )
+        summary, extras = build.runner(
+            seed=spec.seed, duration=duration, warmup=warmup, label=label
+        )
+        walltime = time.perf_counter() - started
+        outcome = RunOutcome(
+            spec=spec, summary=summary, extras=extras, walltime=walltime
+        )
+        payload = outcome.to_payload()
+        payload["sim_duration"] = duration
+        return payload
     result = run_simulation(
         build.app_factory,
         build.workload_factory,

@@ -36,7 +36,9 @@ from ..sim.metrics import Summary
 #: fault timeline moved to the shared ceil-based helper.
 #: 4: RunSpec grew the ``adaptive`` identity field (health-driven
 #: adaptive thresholds) and extras may gain adaptations / adapt_events.
-CACHE_SCHEMA = 4
+#: 5: SimBuild grew custom ``runner`` callables; the new ``dag`` family
+#: (microservice-DAG mesh runs) stores DagResult payloads in extras.
+CACHE_SCHEMA = 5
 
 #: Modules whose import populates the sim-builder registry.  Worker
 #: processes (and cold parents) import these before resolving families;
@@ -47,6 +49,7 @@ FAMILY_MODULES = (
     "repro.experiments.fig3_lock_contention",
     "repro.experiments.fig13_policies",
     "repro.experiments.fig14_overhead",
+    "repro.experiments.dag_overload",
 )
 
 _families_loaded = False

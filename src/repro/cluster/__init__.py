@@ -20,6 +20,7 @@ from .coordinator import CoordinatorDecision, GlobalCoordinator
 from .directives import CLUSTER_OPS, Directive, priority_of
 from .balancer import LoadBalancer
 from .fleet import Fleet, FleetResult, run_fleet
+from .mesh import DagResult, Mesh, ServiceNode, ServiceStatus, run_dag
 from .node import ClusterNode, NodeStatus
 from .routing import (
     DagorAdmission,
@@ -37,12 +38,16 @@ __all__ = [
     "CLUSTER_OPS",
     "ClusterNode",
     "CoordinatorDecision",
+    "DagResult",
     "DagorAdmission",
     "Directive",
     "Fleet",
     "FleetResult",
     "FleetSpec",
     "GlobalCoordinator",
+    "Mesh",
+    "ServiceNode",
+    "ServiceStatus",
     "LeastOutstanding",
     "LoadBalancer",
     "NodeSpec",
@@ -55,5 +60,6 @@ __all__ = [
     "make_policy",
     "policy_names",
     "priority_of",
+    "run_dag",
     "run_fleet",
 ]

@@ -1,0 +1,820 @@
+"""Microservice-mesh execution: DAG requests over epoch-synced services.
+
+Runs a :class:`~repro.workloads.dag.DagSpec`: every service is a full
+app-node simulation (:class:`ServiceNode`, the same stack as a fleet
+:class:`~repro.cluster.node.ClusterNode`), and the mesh drives them
+with the cluster tier's epoch discipline -- RPC shards produced by a
+parent stage in epoch ``k`` dispatch at the start of epoch ``k + 1``,
+per-edge FIFO queues enforce the edge concurrency limits, and an
+AND-join completes a stage only when all shards of all incoming edges
+finished.  Cross-service coupling therefore crosses process boundaries
+only as picklable values (shard tuples, :class:`ServiceStatus`,
+directive tuples), which is what makes serial and sharded mesh runs
+byte-identical.
+
+A request's **critical-path latency** is the DAG-longest sum of its
+per-stage shard latencies (queueing + service time inside each node).
+The epoch-boundary RPC hop is a sync artifact of the simulation, not a
+modeled cost, so SLO accounting uses the critical path, not wall time.
+
+Controller modes (every service mounts the same controller):
+
+* ``none`` -- uncontrolled.
+* ``atropos`` -- per-service cancellation pipelines (targeted cancel).
+* ``dagor`` -- per-service admission levels; the mesh additionally
+  sheds doomed RPCs *upstream* using each service's last exported
+  :attr:`~repro.baselines.dagor.Dagor.admit_level` (epoch-old, as
+  piggy-backed feedback would be).
+* ``autothrottle`` -- per-service fast-loop throttles plus the global
+  :class:`~repro.baselines.autothrottle.AutothrottleTower` running in
+  the mesh's slow-loop seat; retuned targets are delivered to services
+  as epoch-boundary directives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..apps.base import Operation
+from ..apps.mysql import MySQL, MySQLConfig
+from ..apps.postgres import PostgreSQL, PostgresConfig
+from ..baselines.autothrottle import Autothrottle, AutothrottleTower
+from ..baselines.dagor import Dagor, compound_priority
+from ..core.atropos import Atropos
+from ..core.config import AtroposConfig
+from ..core.controller import NullController
+from ..sim.environment import Environment
+from ..sim.metrics import MetricsCollector, Summary, percentile
+from ..sim.rng import Rng
+from ..telemetry.health import HealthMonitor, default_health_rules
+from ..workloads.dag import DagSpec, ServiceSpec, build_arrivals
+from ..workloads.driver import Driver
+
+#: Shard tuple crossing the mesh -> node boundary (picklable):
+#: ``(time, key, op, params, client_id)``.
+Shard = tuple
+
+#: Feedback level meaning "shed nothing" before the first window.
+OPEN_LEVEL = 10 ** 6
+
+
+@dataclass
+class ServiceStatus:
+    """One service's epoch-end snapshot (crosses shard-process pipes)."""
+
+    service: str
+    backend: str
+    epoch: int
+    t: float
+    outstanding: int = 0
+    offered_window: int = 0
+    #: Terminal shards this window: ``(key, status, latency, finish)``.
+    shard_results: List[Tuple[str, str, float, float]] = field(
+        default_factory=list
+    )
+    #: Window p99 over completed shard latencies.
+    p99_window: float = float("nan")
+    #: DAGOR upstream feedback (:data:`OPEN_LEVEL` for other modes).
+    admit_level: int = OPEN_LEVEL
+    #: Autothrottle fast-loop state (nominal workers for other modes).
+    throttle_limit: int = 0
+    target: float = 0.0
+
+
+class ServiceNode:
+    """One mesh service, advanced epoch by epoch."""
+
+    def __init__(
+        self,
+        spec: DagSpec,
+        service: ServiceSpec,
+        index: int,
+        controller: str,
+    ) -> None:
+        self.spec = spec
+        self.service = service
+        self.index = index
+        self.name = service.name
+        self.backend = service.backend
+        self.mode = controller
+        self.env = Environment()
+        rng = Rng(spec.seed).fork(f"dag:{self.name}")
+        self.controller = self._make_controller(controller, spec)
+        if service.backend == "mysql":
+            self.app = MySQL(
+                self.env,
+                self.controller,
+                rng,
+                MySQLConfig(
+                    tables=spec.tables,
+                    pages_per_light_op=spec.mysql_pages_per_light_op,
+                    miss_penalty=spec.mysql_miss_penalty,
+                ),
+            )
+        else:
+            self.app = PostgreSQL(
+                self.env,
+                self.controller,
+                rng,
+                PostgresConfig(tables=spec.tables),
+            )
+        self._register_dag_ops()
+        self.controller.bind(self.app)
+        if controller != "none":
+            self.controller.start()
+        self.collector = MetricsCollector()
+        self.driver = Driver(
+            self.env, self.app, self.controller, self.collector
+        )
+        self._record_idx = 0
+        self._offered_last = 0
+
+    def _make_controller(self, controller: str, spec: DagSpec):
+        if controller == "atropos":
+            return Atropos(
+                self.env,
+                AtroposConfig(
+                    slo_latency=spec.slo_latency,
+                    cancellation_enabled=True,
+                ),
+            )
+        if controller == "dagor":
+            return Dagor(
+                self.env,
+                slo_latency=spec.slo_latency,
+                user_levels=spec.dagor_user_levels,
+            )
+        if controller == "autothrottle":
+            return Autothrottle(self.env, slo_latency=spec.slo_latency)
+        return NullController(self.env)
+
+    def _register_dag_ops(self) -> None:
+        app = self.app
+        spec = self.spec
+        if self.backend == "mysql":
+
+            def point(task, table=0):
+                yield from app.point_select(task, table=table)
+
+            def write(task, table=0):
+                yield from app.row_update(task, table=table)
+
+            def scan(task, rows=0.0):
+                yield from app.scan(task, table=0, rows=rows)
+
+        else:
+
+            def point(task, table=0):
+                yield from app.select(task, table=table)
+
+            def write(task, table=0):
+                yield from app.update(task, table=table)
+
+            def scan(task, rows=0.0):
+                yield from app.vacuum(
+                    task, total_bytes=rows * spec.pg_bytes_per_row
+                )
+
+        app.register_handler("point", point)
+        app.register_handler("write", write)
+        app.register_handler("scan", scan)
+
+    # ------------------------------------------------------------------
+    # Epoch advance
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        epoch: int,
+        t_end: float,
+        shards: List[Shard],
+        directives: List[Tuple[str, float]],
+    ) -> ServiceStatus:
+        """Run this service's environment to ``t_end`` and snapshot it."""
+        for kind, value in directives:
+            if kind == "target" and hasattr(self.controller, "set_target"):
+                self.controller.set_target(value)
+        for t, key, op, params, client in shards:
+            self.driver.run_arrivals(
+                [(t, self._make_op(op, params))],
+                client_id=f"{client}|{key}",
+            )
+        self.env.run(until=t_end)
+        return self._status(epoch, t_end)
+
+    def _make_op(self, op: str, params: Dict[str, Any]):
+        def factory(op=op, params=params):
+            return Operation(op, dict(params))
+
+        return factory
+
+    def _status(self, epoch: int, t_end: float) -> ServiceStatus:
+        records = self.collector.records
+        window = records[self._record_idx:]
+        self._record_idx = len(records)
+        offered_total = self.collector.offered
+        offered_window = offered_total - self._offered_last
+        self._offered_last = offered_total
+        status = ServiceStatus(
+            service=self.name,
+            backend=self.backend,
+            epoch=epoch,
+            t=t_end,
+            outstanding=self.driver.inflight,
+            offered_window=offered_window,
+        )
+        completed_latencies: List[float] = []
+        for record in window:
+            key = record.client_id.rsplit("|", 1)[1]
+            finish = (
+                record.finish_time if record.finish_time is not None
+                else t_end
+            )
+            latency = max(0.0, finish - record.arrival_time)
+            status.shard_results.append(
+                (key, record.status.value, latency, finish)
+            )
+            if record.completed:
+                completed_latencies.append(latency)
+        if completed_latencies:
+            status.p99_window = percentile(completed_latencies, 99)
+        controller = self.controller
+        if isinstance(controller, Dagor):
+            status.admit_level = controller.admit_level
+        if isinstance(controller, Autothrottle):
+            status.throttle_limit = controller.limit
+            status.target = controller.target
+        return status
+
+    # ------------------------------------------------------------------
+    # Final report
+    # ------------------------------------------------------------------
+    def finish(self) -> Dict[str, Any]:
+        """Per-service end-of-run report (picklable)."""
+        spec = self.spec
+        effective = spec.duration + spec.drain - spec.warmup
+        summary = Summary.from_collector(
+            self.collector.trimmed(spec.warmup), effective
+        )
+        controller = self.controller
+        return {
+            "service": self.name,
+            "backend": self.backend,
+            "throughput": summary.throughput,
+            "p99_latency": summary.p99_latency,
+            "completed": summary.completed,
+            "cancelled": summary.cancelled,
+            "dropped": summary.dropped,
+            "cancels": int(controller.cancels_issued),
+            "rejections": int(getattr(controller, "rejections", 0)),
+            "resize_moves": int(getattr(controller, "resize_moves", 0)),
+            "target_moves": int(getattr(controller, "target_moves", 0)),
+        }
+
+
+@dataclass
+class DagResult:
+    """Everything one mesh run produces (JSON-able, deterministic)."""
+
+    controller: str
+    n_services: int
+    n_edges: int
+    duration: float
+    epochs: int = 0
+    #: Victim-class critical-path p99 (post-warmup arrivals), seconds.
+    victim_p99: float = float("nan")
+    victim_p50: float = float("nan")
+    victim_mean: float = float("nan")
+    #: Victim completions whose critical path met the SLO, per second.
+    goodput: float = 0.0
+    #: Per-class outcome counts.
+    classes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    shed_upstream: int = 0
+    cancelled_shards: int = 0
+    tower_moves: List[Dict[str, Any]] = field(default_factory=list)
+    health_events: List[Dict[str, Any]] = field(default_factory=list)
+    service_reports: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dict(self.__dict__)
+        for key in ("victim_p99", "victim_p50", "victim_mean"):
+            value = getattr(self, key)
+            out[key] = None if value != value else round(value, 9)
+        out["goodput"] = round(self.goodput, 9)
+        out["classes"] = {
+            name: dict(sorted(counts.items()))
+            for name, counts in sorted(self.classes.items())
+        }
+        for report in out["service_reports"]:
+            for key in ("throughput", "p99_latency"):
+                report[key] = round(report[key], 9)
+        return out
+
+    def digest(self) -> str:
+        """Canonical content hash (parity / determinism tests)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def render(self) -> str:
+        """Operator-facing text report."""
+        p99 = (
+            "n/a" if self.victim_p99 != self.victim_p99
+            else f"{self.victim_p99 * 1000:.1f}ms"
+        )
+        lines = [
+            f"mesh: {self.n_services} services / {self.n_edges} edges, "
+            f"controller={self.controller}, {self.epochs} epochs",
+            f"victim p99 {p99} | goodput {self.goodput:.1f}/s | "
+            f"upstream sheds {self.shed_upstream} | "
+            f"cancelled shards {self.cancelled_shards}",
+            "",
+            f"{'service':<10} {'backend':<9} {'tput':>7} {'p99':>9} "
+            f"{'cancel':>7} {'reject':>7} {'resize':>7}",
+        ]
+        for report in self.service_reports:
+            p99_s = report["p99_latency"]
+            p99_text = "n/a" if p99_s != p99_s else f"{p99_s * 1000:.1f}ms"
+            lines.append(
+                f"{report['service']:<10} {report['backend']:<9} "
+                f"{report['throughput']:>7.1f} {p99_text:>9} "
+                f"{report['cancels']:>7} {report['rejections']:>7} "
+                f"{report['resize_moves']:>7}"
+            )
+        return "\n".join(lines)
+
+
+class _RequestState:
+    """Parent-side bookkeeping for one in-flight DAG request."""
+
+    __slots__ = (
+        "rid", "cls_name", "arrival", "client", "victim", "failed",
+        "done", "parents_left", "shards_left", "stage_done",
+        "stage_latency", "stage_finish",
+    )
+
+    def __init__(self, rid, cls_name, arrival, client, victim, spec):
+        self.rid = rid
+        self.cls_name = cls_name
+        self.arrival = arrival
+        self.client = client
+        self.victim = victim
+        self.failed: Optional[str] = None
+        self.done = False
+        self.parents_left = {}
+        self.shards_left = {}
+        self.stage_done = {}
+        self.stage_latency = {}
+        self.stage_finish = {}
+        for service in (s.name for s in spec.services):
+            incoming = spec.parents_of(service)
+            self.parents_left[service] = len(incoming)
+            self.shards_left[service] = (
+                1 if service == spec.entry
+                else sum(spec.edges[e].fanout for e in incoming)
+            )
+            self.stage_done[service] = False
+
+    def critical_path(self, spec: DagSpec) -> float:
+        cp: Dict[str, float] = {}
+        for service in spec.topo_order():
+            upstream = max(
+                (cp[spec.edges[e].source] for e in spec.parents_of(service)),
+                default=0.0,
+            )
+            cp[service] = upstream + self.stage_latency.get(service, 0.0)
+        return max(cp.values())
+
+
+class _MeshDriver:
+    """The epoch loop shared by serial and sharded execution."""
+
+    def __init__(self, spec: DagSpec, controller: str) -> None:
+        self.spec = spec
+        self.controller = controller
+        self.arrivals = build_arrivals(spec)
+        self.requests: Dict[int, _RequestState] = {}
+        self.classes = {c.name: c for c in spec.classes}
+        self.victim_classes = {
+            c.name for c in spec.classes
+            if c.name not in spec.expected_culprits
+        }
+        culprit_ops = {
+            op
+            for c in spec.classes if c.name in spec.expected_culprits
+            for _, op in c.ops
+        }
+        victim_ops = {
+            op for c in spec.classes if c.name in self.victim_classes
+            for _, op in c.ops
+        }
+        self.monitor = HealthMonitor(
+            default_health_rules(
+                slo=spec.slo_latency,
+                expected_culprits=tuple(sorted(culprit_ops - victim_ops)),
+            )
+        )
+        self.tower: Optional[AutothrottleTower] = (
+            AutothrottleTower(
+                [s.name for s in spec.services], spec.slo_latency
+            )
+            if controller == "autothrottle" else None
+        )
+        self.tower_epochs = max(1, round(spec.tower_period / spec.epoch))
+        self.edge_queues: List[List[Tuple[int, int]]] = [
+            [] for _ in spec.edges
+        ]
+        self.edge_out: List[int] = [0] * len(spec.edges)
+        self.admit_levels: Dict[str, int] = {
+            s.name: OPEN_LEVEL for s in spec.services
+        }
+        self.counts: Dict[str, Dict[str, int]] = {
+            c.name: {"offered": 0, "completed": 0, "shed_upstream": 0,
+                     "dropped": 0, "cancelled": 0, "timed_out": 0,
+                     "unfinished": 0}
+            for c in spec.classes
+        }
+        self.shed_upstream = 0
+        self.cancelled_shards = 0
+        #: (arrival, cp_latency) of completed victim requests.
+        self.victim_done: List[Tuple[float, float]] = []
+        self._window_victim_cp: List[float] = []
+        self._arrival_idx = 0
+
+    # -- per-epoch plan ------------------------------------------------
+    def plan(self, epoch: int, t_end: float) -> Dict[int, List[Shard]]:
+        spec = self.spec
+        t_start = spec.epoch_end(epoch - 1) if epoch > 0 else 0.0
+        submissions: Dict[int, List[Shard]] = {
+            i: [] for i in range(len(spec.services))
+        }
+        for e, edge in enumerate(spec.edges):
+            queue = self.edge_queues[e]
+            taken = 0
+            for rid, k in queue:
+                req = self.requests[rid]
+                if req.failed is not None:
+                    taken += 1
+                    continue
+                if self.edge_out[e] >= edge.concurrency:
+                    break
+                cls = self.classes[req.cls_name]
+                op = cls.op_for(edge.target)
+                if self.controller == "dagor":
+                    priority = compound_priority(
+                        op, req.client, spec.dagor_user_levels
+                    )
+                    if priority > self.admit_levels[edge.target]:
+                        req.failed = "shed-upstream"
+                        self.counts[req.cls_name]["shed_upstream"] += 1
+                        self.shed_upstream += 1
+                        taken += 1
+                        continue
+                self.edge_out[e] += 1
+                submissions[spec.service_index(edge.target)].append((
+                    t_start,
+                    f"{rid}:{e}:{k}",
+                    op,
+                    self._params(op, cls, rid, k),
+                    req.client,
+                ))
+                taken += 1
+            del queue[:taken]
+        entry_idx = spec.service_index(spec.entry)
+        entry_cls_ops = {c.name: c.op_for(spec.entry) for c in spec.classes}
+        while self._arrival_idx < len(self.arrivals):
+            t, rid, cls_name, client = self.arrivals[self._arrival_idx]
+            if t >= t_end:
+                break
+            self._arrival_idx += 1
+            req = _RequestState(
+                rid, cls_name, t, client,
+                cls_name in self.victim_classes, spec,
+            )
+            self.requests[rid] = req
+            self.counts[cls_name]["offered"] += 1
+            op = entry_cls_ops[cls_name]
+            submissions[entry_idx].append((
+                t,
+                f"{rid}:entry:0",
+                op,
+                self._params(op, self.classes[cls_name], rid, 0),
+                client,
+            ))
+        return submissions
+
+    def _params(self, op, cls, rid: int, k: int) -> Dict[str, Any]:
+        if op == "scan":
+            return {"rows": cls.rows}
+        return {"table": (rid + k) % self.spec.tables}
+
+    # -- per-epoch feedback fold --------------------------------------
+    def fold(self, epoch: int, t_end: float,
+             statuses: List[ServiceStatus]) -> None:
+        spec = self.spec
+        stage_completions: List[Tuple[int, str]] = []
+        window_victim_shards: List[float] = []
+        window_cancelled_ops: List[str] = []
+        for status in statuses:
+            self.admit_levels[status.service] = status.admit_level
+            service = status.service
+            for key, st, latency, finish in status.shard_results:
+                parts = key.split(":")
+                rid = int(parts[0])
+                req = self.requests[rid]
+                if parts[1] != "entry":
+                    self.edge_out[int(parts[1])] -= 1
+                if st != "completed":
+                    if st == "cancelled":
+                        self.cancelled_shards += 1
+                        cls = self.classes[req.cls_name]
+                        window_cancelled_ops.append(cls.op_for(service))
+                    if req.failed is None:
+                        req.failed = st
+                        self.counts[req.cls_name][st] += 1
+                    continue
+                if req.victim:
+                    window_victim_shards.append(latency)
+                req.stage_latency[service] = max(
+                    req.stage_latency.get(service, 0.0), latency
+                )
+                req.stage_finish[service] = max(
+                    req.stage_finish.get(service, 0.0), finish
+                )
+                req.shards_left[service] -= 1
+                if req.shards_left[service] == 0:
+                    req.stage_done[service] = True
+                    stage_completions.append((rid, service))
+        for rid, service in stage_completions:
+            req = self.requests[rid]
+            for e in spec.children_of(service):
+                target = spec.edges[e].target
+                req.parents_left[target] -= 1
+                if req.parents_left[target] == 0 and req.failed is None:
+                    for e2 in spec.parents_of(target):
+                        for k in range(spec.edges[e2].fanout):
+                            self.edge_queues[e2].append((rid, k))
+            if (
+                req.failed is None
+                and not req.done
+                and all(req.stage_done.values())
+            ):
+                req.done = True
+                cp = req.critical_path(spec)
+                self.counts[req.cls_name]["completed"] += 1
+                if req.victim:
+                    self.victim_done.append((req.arrival, cp))
+                    self._window_victim_cp.append(cp)
+        fleet_p99 = (
+            percentile(window_victim_shards, 99)
+            if window_victim_shards else float("nan")
+        )
+        completed = sum(
+            1 for s in statuses
+            for _, st, _, _ in s.shard_results if st == "completed"
+        )
+        offered = sum(s.offered_window for s in statuses)
+        self.monitor.evaluate(
+            t_end,
+            {
+                "p99": fleet_p99,
+                "completed_window": float(completed),
+                "offered_window": float(offered),
+                "goodput": float(completed) / max(spec.epoch, 1e-9),
+                "cancels_window": float(len(window_cancelled_ops)),
+            },
+            window_cancelled_ops,
+        )
+
+    # -- tower slow loop ----------------------------------------------
+    def tower_directives(
+        self, epoch: int, t_end: float, statuses: List[ServiceStatus]
+    ) -> Dict[int, List[Tuple[str, float]]]:
+        if self.tower is None or (epoch + 1) % self.tower_epochs != 0:
+            self._maybe_clear_window(epoch)
+            return {}
+        cp_p99 = (
+            percentile(self._window_victim_cp, 99)
+            if self._window_victim_cp else float("nan")
+        )
+        service_p99 = {s.service: s.p99_window for s in statuses}
+        shard_p99s = [
+            p for p in service_p99.values() if p == p
+        ]
+        e2e = cp_p99 if cp_p99 == cp_p99 else (
+            max(shard_p99s) if shard_p99s else float("nan")
+        )
+        targets = self.tower.update(epoch, t_end, e2e, service_p99)
+        self._window_victim_cp = []
+        return {
+            self.spec.service_index(name): [("target", target)]
+            for name, target in sorted(targets.items())
+        }
+
+    def _maybe_clear_window(self, epoch: int) -> None:
+        # Victim-cp window only feeds the tower; bound its growth for
+        # the controllers that never read it.
+        if self.tower is None and len(self._window_victim_cp) > 10000:
+            self._window_victim_cp = []
+
+    # -- final result --------------------------------------------------
+    def summarize(self, reports: List[Dict[str, Any]]) -> DagResult:
+        spec = self.spec
+        result = DagResult(
+            controller=self.controller,
+            n_services=len(spec.services),
+            n_edges=len(spec.edges),
+            duration=spec.duration,
+            epochs=spec.epoch_count(),
+        )
+        for req in self.requests.values():
+            if not req.done and req.failed is None:
+                self.counts[req.cls_name]["unfinished"] += 1
+        result.classes = self.counts
+        latencies = [
+            cp for arrival, cp in self.victim_done
+            if arrival >= spec.warmup
+        ]
+        effective = max(spec.duration - spec.warmup, 1e-9)
+        if latencies:
+            result.victim_p99 = percentile(latencies, 99)
+            result.victim_p50 = percentile(latencies, 50)
+            result.victim_mean = sum(latencies) / len(latencies)
+        result.goodput = (
+            sum(1 for lat in latencies if lat <= spec.slo_latency)
+            / effective
+        )
+        result.shed_upstream = self.shed_upstream
+        result.cancelled_shards = self.cancelled_shards
+        if self.tower is not None:
+            result.tower_moves = list(self.tower.moves)
+        result.health_events = [e.to_dict() for e in self.monitor.events]
+        result.service_reports = reports
+        return result
+
+
+def _drive(spec, controller, advance_all, finish_all) -> DagResult:
+    driver = _MeshDriver(spec, controller)
+    directives: Dict[int, List[Tuple[str, float]]] = {}
+    for epoch in range(spec.epoch_count()):
+        t_end = spec.epoch_end(epoch)
+        plan = driver.plan(epoch, t_end)
+        statuses = advance_all(epoch, t_end, plan, directives)
+        driver.fold(epoch, t_end, statuses)
+        directives = driver.tower_directives(epoch, t_end, statuses)
+    return driver.summarize(finish_all())
+
+
+class Mesh:
+    """Builds and drives one mesh run (serial path)."""
+
+    def __init__(self, spec: DagSpec, controller: str) -> None:
+        self.spec = spec
+        self.controller = controller
+        self.nodes = [
+            ServiceNode(spec, service, index, controller)
+            for index, service in enumerate(spec.services)
+        ]
+
+    def run(self) -> DagResult:
+        return _drive(
+            self.spec, self.controller,
+            self._advance_serial, self._finish_serial,
+        )
+
+    def _advance_serial(self, epoch, t_end, plan, directives):
+        return [
+            node.advance(
+                epoch, t_end,
+                plan.get(node.index, []),
+                directives.get(node.index, []),
+            )
+            for node in self.nodes
+        ]
+
+    def _finish_serial(self):
+        return [node.finish() for node in self.nodes]
+
+
+# ----------------------------------------------------------------------
+# Sharded execution (campaign worker pool)
+# ----------------------------------------------------------------------
+
+def _shard_worker(spec_dict, controller, indices, conn):  # pragma: no cover
+    """Persistent shard process: owns a subset of the mesh's services."""
+    spec = DagSpec.from_dict(spec_dict)
+    nodes = {
+        index: ServiceNode(spec, spec.services[index], index, controller)
+        for index in indices
+    }
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "advance":
+                _, epoch, t_end, inputs = message
+                statuses = {}
+                for index, (shards, directives) in inputs.items():
+                    statuses[index] = nodes[index].advance(
+                        epoch, t_end, shards, directives
+                    )
+                conn.send(statuses)
+            elif kind == "finish":
+                conn.send(
+                    {index: node.finish() for index, node in nodes.items()}
+                )
+            else:
+                break
+    finally:
+        conn.close()
+
+
+class _MeshShardPool:
+    """Fork-started shard processes driven over pipes."""
+
+    def __init__(self, spec: DagSpec, controller: str, shards: int) -> None:
+        ctx = multiprocessing.get_context("fork")
+        n = len(spec.services)
+        self.assignments = [
+            [index for index in range(n) if index % shards == s]
+            for s in range(shards)
+        ]
+        self.pipes = []
+        self.procs = []
+        spec_dict = spec.to_dict()
+        for indices in self.assignments:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(spec_dict, controller, indices, child),
+            )
+            proc.daemon = True
+            proc.start()
+            child.close()
+            self.pipes.append(parent)
+            self.procs.append(proc)
+
+    def advance_all(self, epoch, t_end, plan, directives):
+        for pipe, indices in zip(self.pipes, self.assignments):
+            inputs = {
+                index: (plan.get(index, []), directives.get(index, []))
+                for index in indices
+            }
+            pipe.send(("advance", epoch, t_end, inputs))
+        merged: Dict[int, ServiceStatus] = {}
+        for pipe in self.pipes:
+            merged.update(pipe.recv())
+        return [merged[index] for index in sorted(merged)]
+
+    def finish_all(self):
+        for pipe in self.pipes:
+            pipe.send(("finish",))
+        merged: Dict[int, Dict[str, Any]] = {}
+        for pipe in self.pipes:
+            merged.update(pipe.recv())
+        return [merged[index] for index in sorted(merged)]
+
+    def close(self):
+        for pipe in self.pipes:
+            try:
+                pipe.send(("stop",))
+                pipe.close()
+            except OSError:
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+
+
+def run_dag(
+    spec: DagSpec,
+    controller: str = "atropos",
+    jobs: Optional[int] = None,
+) -> DagResult:
+    """Run a mesh to completion; serial or sharded, same bytes.
+
+    ``jobs`` defaults to the campaign worker-pool settings
+    (:func:`repro.campaign.settings` overlays / ``REPRO_JOBS``);
+    service simulations shard round-robin across ``min(jobs, services)``
+    persistent fork-started workers.  Platforms without fork -- and
+    daemonized campaign pool workers, which may not fork again -- fall
+    back to serial execution (identical bytes either way).
+    """
+    from ..campaign import current_settings
+
+    resolved = current_settings(jobs=jobs)
+    shards = min(resolved.jobs, len(spec.services))
+    if (
+        shards <= 1
+        or "fork" not in multiprocessing.get_all_start_methods()
+        or multiprocessing.current_process().daemon
+    ):
+        return Mesh(spec, controller).run()
+    pool = _MeshShardPool(spec, controller, shards)
+    try:
+        return _drive(spec, controller, pool.advance_all, pool.finish_all)
+    finally:
+        pool.close()

@@ -51,6 +51,7 @@ _EXPERIMENT_RUNNERS = {
     "resilience": ("resilience", "run"),
     "ablate-adaptive": ("ablate_adaptive", "run"),
     "cluster": ("cluster_attribution", "run"),
+    "dag": ("dag_overload", "run"),
 }
 
 

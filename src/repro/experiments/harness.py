@@ -212,14 +212,23 @@ class SimBuild:
 
     Returned by registered spec builders; the campaign runner combines
     it with the RunSpec's seed/duration/warmup overrides.
+
+    Families whose execution model is not a single
+    :func:`run_simulation` environment (the microservice-DAG mesh runs
+    a whole fleet of them) set ``runner`` instead of the factories: a
+    callable ``runner(seed, duration, warmup, label) -> (Summary,
+    extras)`` the campaign executes in place of the standard stack.
+    Runner families do not support fault plans.
     """
 
-    app_factory: AppFactory
-    workload_factory: WorkloadFactory
+    app_factory: Optional[AppFactory] = None
+    workload_factory: Optional[WorkloadFactory] = None
     controller_factory: Optional[ControllerFactory] = None
     #: Defaults used when the RunSpec leaves duration/warmup unset.
     duration: float = 10.0
     warmup: float = 0.0
+    #: Custom execution hook; see the class docstring.
+    runner: Optional[Callable[..., Any]] = None
 
 
 #: Family name -> builder(params: dict) -> SimBuild.

@@ -1,5 +1,6 @@
 """Workload generation and the request-lifecycle driver."""
 
+from .dag import DagSpec, EdgeSpec, RequestClass, ServiceSpec, dag_storm
 from .driver import Driver
 from .sessions import ConnectionSource
 from .spec import (
@@ -14,10 +15,15 @@ from .spec import (
 __all__ = [
     "ClosedLoopSource",
     "ConnectionSource",
+    "DagSpec",
     "Driver",
+    "EdgeSpec",
     "MixEntry",
     "OpenLoopSource",
     "PeriodicOp",
+    "RequestClass",
     "ScheduledOp",
+    "ServiceSpec",
     "Workload",
+    "dag_storm",
 ]

@@ -63,6 +63,46 @@ class TestChecker:
         )
         assert checker.check([str(doc)]) == []
 
+    def test_reference_style_links_resolved(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# T\n\nsee [the spec][spec] and [other][]\n\n"
+            "[spec]: #t\n[other]: missing.md\n"
+        )
+        errors = checker.check([str(doc)])
+        assert len(errors) == 1
+        assert "missing.md" in errors[0]
+
+    def test_undefined_reference_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# T\n\nsee [dangling][nowhere]\n")
+        errors = checker.check([str(doc)])
+        assert len(errors) == 1
+        assert "undefined link reference" in errors[0]
+        assert "nowhere" in errors[0]
+
+    def test_setext_headings_are_anchors(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "Big Title\n=========\n\nSub part\n--------\n\n"
+            "[up](#big-title) [over](#sub-part)\n"
+        )
+        assert checker.check([str(doc)]) == []
+
+    def test_list_items_not_mistaken_for_setext(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# T\n\n- item one\n---\n\n[x](#item-one)\n")
+        errors = checker.check([str(doc)])
+        assert len(errors) == 1
+        assert "item-one" in errors[0]
+
+    def test_html_anchors_resolve(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            '# T\n\n<a id="pinned"></a>\n\n[jump](#pinned)\n'
+        )
+        assert checker.check([str(doc)]) == []
+
 
 class TestRepoDocs:
     def test_repo_docs_have_no_broken_links(self):

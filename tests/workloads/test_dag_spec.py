@@ -1,0 +1,151 @@
+"""DagSpec validation, topology helpers, and arrival determinism."""
+
+import pytest
+
+from repro.workloads.dag import (
+    DagSpec,
+    EdgeSpec,
+    RequestClass,
+    ServiceSpec,
+    build_arrivals,
+    dag_storm,
+)
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        services=[ServiceSpec("a", "mysql"), ServiceSpec("b", "postgres")],
+        edges=[EdgeSpec("a", "b")],
+        entry="a",
+        classes=[
+            RequestClass("browse", ops={"a": "point", "b": "point"},
+                         rate=50.0),
+        ],
+        duration=8.0,
+        warmup=2.0,
+    )
+    base.update(overrides)
+    return DagSpec(**base)
+
+
+class TestValidation:
+    """Invalid specs fail loudly at construction (validate() raises)."""
+
+    def test_standard_scenario_is_valid(self):
+        dag_storm()  # does not raise
+        tiny_spec()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ServiceSpec("a", "oracle")
+
+    def test_duplicate_service_rejected(self):
+        with pytest.raises(ValueError, match="duplicate service"):
+            tiny_spec(
+                services=[ServiceSpec("a"), ServiceSpec("a")],
+                edges=[],
+                classes=[RequestClass("x", ops={"a": "point"}, rate=1.0)],
+            )
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ValueError, match="entry"):
+            tiny_spec(entry="nope")
+
+    def test_edge_to_unknown_service_rejected(self):
+        with pytest.raises(ValueError, match="unknown service"):
+            tiny_spec(edges=[EdgeSpec("a", "ghost"), EdgeSpec("a", "b")])
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError, match="self-edge"):
+            tiny_spec(edges=[EdgeSpec("a", "a"), EdgeSpec("a", "b")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            tiny_spec(edges=[EdgeSpec("a", "b"), EdgeSpec("b", "a")])
+
+    def test_unreachable_service_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            tiny_spec(edges=[])
+
+    def test_nonpositive_fanout_rejected(self):
+        with pytest.raises(ValueError, match="fanout"):
+            tiny_spec(edges=[EdgeSpec("a", "b", fanout=0)])
+
+    def test_class_needs_rate_xor_period(self):
+        ops = {"a": "point", "b": "point"}
+        with pytest.raises(ValueError, match="rate/period"):
+            tiny_spec(classes=[
+                RequestClass("x", ops=ops, rate=1.0, period=1.0),
+            ])
+        with pytest.raises(ValueError, match="rate/period"):
+            tiny_spec(classes=[RequestClass("x", ops=ops)])
+
+    def test_ops_must_cover_every_service(self):
+        with pytest.raises(ValueError, match="cover every service"):
+            tiny_spec(classes=[
+                RequestClass("x", ops={"a": "point"}, rate=1.0),
+            ])
+
+    def test_scan_requires_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            tiny_spec(classes=[
+                RequestClass("x", ops={"a": "point", "b": "scan"},
+                             rate=1.0),
+            ])
+
+    def test_unknown_culprit_class_rejected(self):
+        with pytest.raises(ValueError, match="culprit"):
+            tiny_spec(expected_culprits=("ghost",))
+
+    def test_warmup_must_fit_duration(self):
+        with pytest.raises(ValueError, match="warmup"):
+            tiny_spec(warmup=9.0)
+
+
+class TestTopology:
+    def test_topo_order_starts_at_entry(self):
+        spec = dag_storm(n_leaves=3)
+        order = spec.topo_order()
+        assert order[0] == "gateway"
+        assert set(order) == {s.name for s in spec.services}
+
+    def test_parents_and_children_are_edge_indices(self):
+        spec = dag_storm(n_leaves=2)
+        assert spec.parents_of("gateway") == []
+        assert spec.children_of("gateway") == [0, 1]
+        assert spec.parents_of("leaf-1") == [1]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = dag_storm(n_leaves=3, seed=7)
+        again = DagSpec.from_dict(spec.to_dict())
+        assert again.to_dict() == spec.to_dict()
+
+    def test_with_overrides(self):
+        spec = dag_storm().with_overrides(duration=99.0)
+        assert spec.duration == 99.0
+        assert dag_storm().duration != 99.0
+
+
+class TestArrivals:
+    def test_deterministic_per_seed(self):
+        a = build_arrivals(dag_storm(seed=3))
+        b = build_arrivals(dag_storm(seed=3))
+        c = build_arrivals(dag_storm(seed=4))
+        assert a == b
+        assert a != c
+
+    def test_sorted_and_within_duration(self):
+        arrivals = build_arrivals(dag_storm(seed=0, duration=10.0))
+        times = [t for t, _, _, _ in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 10.0 for t in times)
+
+    def test_periodic_class_lands_on_schedule(self):
+        spec = dag_storm(seed=0, duration=16.0)
+        storms = [
+            t for t, _rid, name, _client in build_arrivals(spec)
+            if name == "analytics"
+        ]
+        assert storms == pytest.approx([6.0, 10.0, 14.0])

@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
 """Markdown cross-reference checker (stdlib only; used by the CI docs job).
 
-Scans the repo's documentation for ``[text](target)`` links and verifies
+Scans the repo's documentation for links -- inline ``[text](target)``,
+reference-style ``[text][ref]`` / ``[ref][]`` with their ``[ref]:
+target`` definitions -- and verifies
 
 * relative file targets exist (``docs/RESILIENCE.md``, ``src/...``),
 * intra-document and cross-document anchors (``#fault-model``) resolve
-  to a real heading, using GitHub's slugification rules.
+  to a real heading, using GitHub's slugification rules; anchors may
+  come from ATX (``## Heading``) or setext (underlined) headings, or
+  from explicit HTML ``<a id=...>`` / ``<a name=...>`` tags,
+* every reference-style usage has a matching definition.
 
 External (``http(s)://``, ``mailto:``) links are skipped -- CI must not
 depend on the network.  Exit status is the number of broken links.
@@ -36,6 +41,14 @@ DEFAULT_TARGETS = [
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+#: Setext underline: a line of = or - under a paragraph line.
+SETEXT_RE = re.compile(r"^ {0,3}(=+|-+)\s*$")
+#: Reference-style definition: [label]: target
+REF_DEF_RE = re.compile(r"^ {0,3}\[([^\]]+)\]:\s*(\S+)")
+#: Reference-style usage: [text][label] or collapsed [label][]
+REF_USE_RE = re.compile(r"(?<!\!)\[([^\]]*)\]\[([^\]]*)\]")
+#: Explicit HTML anchor targets.
+HTML_ANCHOR_RE = re.compile(r"<a\s+(?:id|name)=[\"']([^\"']+)[\"']")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
@@ -69,11 +82,21 @@ def collect_markdown(paths: List[str]) -> List[Path]:
     return files
 
 
-def parse(path: Path) -> Tuple[Set[str], List[Tuple[int, str]]]:
-    """Return (heading anchors, [(line_number, link_target)]) for a file."""
+def parse(path: Path) -> Tuple[Set[str], List[Tuple[int, str]], List[str]]:
+    """Parse one file's anchors and link targets.
+
+    Returns ``(anchors, [(line_number, link_target)], problems)`` where
+    *problems* are self-contained errors (reference-style usages with no
+    matching definition).
+    """
     anchors: Set[str] = set()
     seen: Dict[str, int] = {}
     links: List[Tuple[int, str]] = []
+    problems: List[str] = []
+
+    # Strip fenced code up front; reference definitions may appear
+    # anywhere in the document, so usages need a full-file def map.
+    visible: List[Tuple[int, str]] = []
     in_fence = False
     for lineno, line in enumerate(
         path.read_text(encoding="utf-8").splitlines(), start=1
@@ -81,27 +104,63 @@ def parse(path: Path) -> Tuple[Set[str], List[Tuple[int, str]]]:
         if CODE_FENCE_RE.match(line.strip()):
             in_fence = not in_fence
             continue
-        if in_fence:
-            continue
+        if not in_fence:
+            visible.append((lineno, line))
+
+    ref_defs: Dict[str, str] = {}
+    for lineno, line in visible:
+        match = REF_DEF_RE.match(line)
+        if match:
+            ref_defs[match.group(1).lower()] = match.group(2)
+            links.append((lineno, match.group(2)))
+
+    def add_heading(text: str) -> None:
+        slug = slugify(text)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+
+    prev_line = ""
+    for lineno, line in visible:
         match = HEADING_RE.match(line)
         if match:
-            slug = slugify(match.group(2))
-            count = seen.get(slug, 0)
-            seen[slug] = count + 1
-            anchors.add(slug if count == 0 else f"{slug}-{count}")
+            add_heading(match.group(2))
+        elif (
+            SETEXT_RE.match(line)
+            and prev_line.strip()
+            and not HEADING_RE.match(prev_line)
+            and not REF_DEF_RE.match(prev_line)
+            and not prev_line.lstrip().startswith(("-", "*", ">", "|"))
+        ):
+            add_heading(prev_line)
+        for tag in HTML_ANCHOR_RE.finditer(line):
+            anchors.add(tag.group(1).lower())
         for link in LINK_RE.finditer(line):
             links.append((lineno, link.group(1)))
-    return anchors, links
+        if REF_DEF_RE.match(line):
+            prev_line = line
+            continue  # the definition line itself is not a usage
+        for use in REF_USE_RE.finditer(line):
+            label = (use.group(2) or use.group(1)).lower()
+            # A defined label's target is already checked (once) at its
+            # definition line; a usage only needs the label to exist.
+            if label not in ref_defs:
+                problems.append(
+                    f"{_rel(path)}:{lineno}: undefined link reference "
+                    f"[{label}]"
+                )
+        prev_line = line
+    return anchors, links, problems
 
 
 def check(paths: List[str]) -> List[str]:
     files = collect_markdown(paths)
     anchor_index: Dict[Path, Set[str]] = {}
     link_index: Dict[Path, List[Tuple[int, str]]] = {}
-    for path in files:
-        anchor_index[path], link_index[path] = parse(path)
-
     errors: List[str] = []
+    for path in files:
+        anchor_index[path], link_index[path], problems = parse(path)
+        errors.extend(problems)
     for path, links in link_index.items():
         for lineno, target in links:
             if target.startswith(EXTERNAL_PREFIXES):
@@ -119,7 +178,7 @@ def check(paths: List[str]) -> List[str]:
                 if resolved.suffix.lower() != ".md":
                     continue
                 if resolved not in anchor_index and resolved.exists():
-                    anchor_index[resolved], _ = parse(resolved)
+                    anchor_index[resolved], _, _ = parse(resolved)
                 if anchor.lower() not in anchor_index.get(resolved, set()):
                     errors.append(
                         f"{where}: broken anchor -> {target} "
