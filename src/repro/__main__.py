@@ -21,6 +21,10 @@ Usage::
     python -m repro faults list
     python -m repro faults run --plan lossy-initiator [--case c1] [--system atropos]
     python -m repro faults matrix [--full] [--jobs N]
+    python -m repro regress baseline [--out FILE] [--targets case dag cluster]
+    python -m repro regress check [--baseline FILE] [--perturb K=V] [--report FILE]
+    python -m repro regress report [--baseline FILE]
+    python -m repro regress schedule [--case case:c1]
     python -m repro cache stats
     python -m repro cache clear
 
@@ -559,6 +563,106 @@ def cmd_dag(args) -> int:
     return 0
 
 
+def cmd_regress(args) -> int:
+    from .regress import (
+        RegressBaseline,
+        capture,
+        compare,
+        recapture,
+        write_diff_report,
+    )
+    from .regress.capture import parse_perturbations
+
+    if args.action == "baseline":
+        from . import __version__
+        from .experiments.regressable import REGRESS_CASES, regress_entries
+
+        cases = list(args.cases or REGRESS_CASES)
+        entries = regress_entries(
+            targets=args.targets, cases=cases, seed=args.seed
+        )
+        with _campaign_settings(args):
+            baseline = capture(
+                args.name,
+                entries,
+                jobs=args.jobs,
+                meta={
+                    "seed": args.seed,
+                    "targets": list(args.targets),
+                    "cases": cases,
+                    "repro_version": __version__,
+                },
+            )
+        baseline.write(args.out)
+        _print_campaign_stats()
+        print(
+            f"baseline {args.name!r}: {len(baseline.cases)} capture(s) "
+            f"written to {args.out}"
+        )
+        for case in baseline.cases:
+            print(
+                f"  {case.name:<24} p99={case.summary['p99_latency']} "
+                f"cancelled={case.summary['cancelled']}"
+            )
+        return 0
+
+    def read_baseline():
+        try:
+            return RegressBaseline.read(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return None
+
+    if args.action == "schedule":
+        import json as _json
+
+        from .regress.schedule import derive_schedules
+
+        baseline = read_baseline()
+        if baseline is None:
+            return 2
+        schedules = derive_schedules(baseline)
+        if args.case is not None:
+            schedules = {
+                name: schedule
+                for name, schedule in schedules.items()
+                if name == args.case
+            }
+        print(_json.dumps(schedules, indent=2, sort_keys=True))
+        if not schedules:
+            print(
+                "no sustained p99-ceiling phases in the baseline "
+                "history (nothing to schedule)",
+                file=sys.stderr,
+            )
+        return 0
+
+    # check / report share the capture-and-compare path.
+    baseline = read_baseline()
+    if baseline is None:
+        return 2
+    try:
+        perturb = parse_perturbations(args.perturb or ())
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with _campaign_settings(args):
+        current = recapture(baseline, jobs=args.jobs, perturb=perturb)
+    result = compare(baseline, current, rel_tol=args.rel_tol)
+    _print_campaign_stats()
+    print(result.format())
+    report_path = args.report
+    if args.action == "report" and report_path is None:
+        report_path = "regress-report.html"
+    if report_path is not None:
+        write_diff_report(result, baseline, current, report_path)
+        print(f"HTML diff written to {report_path}", file=sys.stderr)
+    if args.action == "check":
+        return 1 if result.drifted else 0
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .campaign.store import ResultStore, default_cache_dir
 
@@ -881,6 +985,79 @@ def build_parser() -> argparse.ArgumentParser:
     # serial and sharded runs are byte-identical.
     _add_campaign_flags(p_dag)
     p_dag.set_defaults(func=cmd_dag)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="longitudinal regression observatory (baseline/check)",
+    )
+    r_sub = p_regress.add_subparsers(dest="action", required=True)
+
+    r_base = r_sub.add_parser(
+        "baseline", help="capture a named baseline snapshot"
+    )
+    r_base.add_argument(
+        "--out", default="REGRESS_BASELINE.json", metavar="FILE",
+        help="snapshot path (default REGRESS_BASELINE.json)",
+    )
+    r_base.add_argument(
+        "--name", default="standard", help="baseline name (default "
+        "'standard')",
+    )
+    r_base.add_argument(
+        "--targets", nargs="+", default=["case"],
+        choices=["case", "dag", "cluster"],
+        help="regressable families to capture (default: case)",
+    )
+    r_base.add_argument(
+        "--cases", nargs="+", default=None, metavar="ID",
+        help="case ids for the case target (default: the standard six)",
+    )
+    r_base.add_argument("--seed", type=int, default=1)
+    _add_campaign_flags(r_base)
+    r_base.set_defaults(func=cmd_regress)
+
+    for action, helptext in (
+        ("check", "re-run a baseline's specs and gate on drift "
+         "(exit 1 when anything drifted)"),
+        ("report", "like check but always writes the HTML diff; "
+         "exit 0"),
+    ):
+        r_action = r_sub.add_parser(action, help=helptext)
+        r_action.add_argument(
+            "--baseline", default="REGRESS_BASELINE.json",
+            metavar="FILE",
+            help="baseline snapshot (default REGRESS_BASELINE.json)",
+        )
+        r_action.add_argument(
+            "--perturb", nargs="+", default=None, metavar="KEY=VALUE",
+            help="AtroposConfig overrides merged into case-family "
+            "specs (seeded drift, e.g. slo_slack=0.8)",
+        )
+        r_action.add_argument(
+            "--report", default=None, metavar="FILE",
+            help="write the HTML diff here (default for `report`: "
+            "regress-report.html)",
+        )
+        r_action.add_argument(
+            "--rel-tol", type=float, default=0.05, metavar="R",
+            help="relative drift tolerance (default 0.05)",
+        )
+        _add_campaign_flags(r_action)
+        r_action.set_defaults(func=cmd_regress)
+
+    r_sched = r_sub.add_parser(
+        "schedule",
+        help="derive per-case threshold schedules from baseline history",
+    )
+    r_sched.add_argument(
+        "--baseline", default="REGRESS_BASELINE.json", metavar="FILE",
+        help="baseline snapshot (default REGRESS_BASELINE.json)",
+    )
+    r_sched.add_argument(
+        "--case", default=None, metavar="NAME",
+        help="only the named capture (e.g. case:c1)",
+    )
+    r_sched.set_defaults(func=cmd_regress)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the result store"

@@ -286,14 +286,14 @@ def check_regression(
 
     Two-sided gate: the mix counts as regressed only if **both** the raw
     events/sec *and* the calibration-normalized events/sec fall more
-    than ``max_regression`` below the baseline.  Rationale: on the same
-    machine raw throughput is the stable signal (normalization can
-    *add* noise when background load hits calibration and cases
-    unequally), while on a different-speed host only the normalized
-    number is meaningful -- so a real engine regression trips both,
-    but host variance alone rarely trips either.  A missing/corrupt
-    baseline is a failure (the gate must not silently pass).
+    than ``max_regression`` below the baseline.  The decision itself is
+    :func:`repro.regress.stats.two_sided_regressed` -- one shared
+    definition of "regression" for bench and the regress observatory
+    (see that module for the rationale).  A missing/corrupt baseline is
+    a failure (the gate must not silently pass).
     """
+    from ..regress.stats import two_sided_regressed
+
     try:
         with open(baseline_path) as handle:
             snapshot = json.load(handle)
@@ -315,7 +315,13 @@ def check_regression(
     mix_floor = snap_mix * tolerance
     current_norm = report.normalized_mix
     current_mix = report.mix_events_per_sec
-    if current_norm < norm_floor and current_mix < mix_floor:
+    if two_sided_regressed(
+        current_raw=current_mix,
+        current_norm=current_norm,
+        baseline_raw=snap_mix,
+        baseline_norm=snap_norm,
+        max_regression=max_regression,
+    ):
         return [
             "mix regression vs "
             f"{baseline_path} (tolerance {max_regression:.0%}): "

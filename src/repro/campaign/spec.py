@@ -38,7 +38,11 @@ from ..sim.metrics import Summary
 #: adaptive thresholds) and extras may gain adaptations / adapt_events.
 #: 5: SimBuild grew custom ``runner`` callables; the new ``dag`` family
 #: (microservice-DAG mesh runs) stores DagResult payloads in extras.
-CACHE_SCHEMA = 5
+#: 6: extras gained the always-present ``series`` window payload plus
+#: ``decision_mix`` / ``audit_mix`` digests (the ``repro regress``
+#: observability surface), and the ``cluster`` family joined the
+#: registry (FleetResult payloads in extras).
+CACHE_SCHEMA = 6
 
 #: Modules whose import populates the sim-builder registry.  Worker
 #: processes (and cold parents) import these before resolving families;
@@ -50,6 +54,7 @@ FAMILY_MODULES = (
     "repro.experiments.fig13_policies",
     "repro.experiments.fig14_overhead",
     "repro.experiments.dag_overload",
+    "repro.experiments.cluster_attribution",
 )
 
 _families_loaded = False

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -38,12 +39,24 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class StoreStats:
-    """Summary of what's on disk under a cache root."""
+    """Summary of what's on disk under a cache root.
+
+    ``entries``/``total_bytes`` cover the *current* CACHE_SCHEMA only
+    (the entries a run can actually hit); older schema versions are
+    counted separately as stale.
+    """
 
     root: Path
     entries: int
     total_bytes: int
     index_records: int
+    #: Addressable entries per experiment family (current schema).
+    by_family: Dict[str, int] = field(default_factory=dict)
+    #: Entry count per on-disk schema version (current one included).
+    by_schema: Dict[int, int] = field(default_factory=dict)
+    #: Entries under older ``v<n>`` dirs; never addressed again.
+    stale_entries: int = 0
+    stale_bytes: int = 0
 
     def format(self) -> str:
         size = self.total_bytes
@@ -52,12 +65,30 @@ class StoreStats:
                 break
             size /= 1024.0
         pretty = f"{size:.1f} {unit}" if unit != "B" else f"{size} B"
-        return (
-            f"cache dir:     {self.root}\n"
-            f"entries:       {self.entries}\n"
-            f"size:          {pretty}\n"
-            f"index records: {self.index_records}"
-        )
+        lines = [
+            f"cache dir:     {self.root}",
+            f"entries:       {self.entries}",
+            f"size:          {pretty}",
+            f"index records: {self.index_records}",
+            f"schema:        v{_schema()}",
+        ]
+        if self.by_family:
+            lines.append("by family:")
+            for family, count in sorted(self.by_family.items()):
+                lines.append(f"  {family or '?':<12} {count}")
+        if len(self.by_schema) > 1 or self.stale_entries:
+            lines.append("by schema:")
+            for schema, count in sorted(self.by_schema.items()):
+                marker = "" if schema == _schema() else "  (stale)"
+                lines.append(f"  v{schema:<11} {count}{marker}")
+        if self.stale_entries:
+            lines.append(
+                f"warning: {self.stale_entries} stale entr"
+                f"{'y' if self.stale_entries == 1 else 'ies'} from "
+                "older schema versions will never be served again; "
+                "run `repro cache clear` to reclaim the space"
+            )
+        return "\n".join(lines)
 
 
 class ResultStore:
@@ -120,10 +151,30 @@ class ResultStore:
     def stats(self) -> StoreStats:
         entries = 0
         total = 0
-        if self._data_dir.is_dir():
-            for path in self._data_dir.rglob("*.json"):
+        by_family: Dict[str, int] = {}
+        by_schema: Dict[int, int] = {}
+        stale_entries = 0
+        stale_bytes = 0
+        current = _schema()
+        for data_dir in self._schema_dirs():
+            schema = int(data_dir.name[1:])
+            for path in sorted(data_dir.rglob("*.json")):
+                size = path.stat().st_size
+                by_schema[schema] = by_schema.get(schema, 0) + 1
+                if schema != current:
+                    stale_entries += 1
+                    stale_bytes += size
+                    continue
                 entries += 1
-                total += path.stat().st_size
+                total += size
+                family = "?"
+                try:
+                    with open(path, "r") as handle:
+                        payload = json.load(handle)
+                    family = payload.get("spec", {}).get("family", "?")
+                except (OSError, ValueError):
+                    pass
+                by_family[family] = by_family.get(family, 0) + 1
         index_records = 0
         if self._index_path.is_file():
             with open(self._index_path) as handle:
@@ -133,13 +184,32 @@ class ResultStore:
             entries=entries,
             total_bytes=total,
             index_records=index_records,
+            by_family=by_family,
+            by_schema=by_schema,
+            stale_entries=stale_entries,
+            stale_bytes=stale_bytes,
+        )
+
+    def _schema_dirs(self):
+        """Every on-disk ``v<n>`` data dir, any schema version."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            (
+                path
+                for path in self.root.iterdir()
+                if path.is_dir() and re.fullmatch(r"v\d+", path.name)
+            ),
+            key=lambda path: int(path.name[1:]),
         )
 
     def clear(self) -> int:
-        """Delete every stored entry; returns how many were removed."""
-        removed = self.stats().entries
-        if self._data_dir.is_dir():
-            shutil.rmtree(self._data_dir)
+        """Delete every stored entry (all schema versions); returns how
+        many were removed."""
+        stats = self.stats()
+        removed = stats.entries + stats.stale_entries
+        for data_dir in self._schema_dirs():
+            shutil.rmtree(data_dir)
         if self._index_path.is_file():
             self._index_path.unlink()
         return removed

@@ -67,6 +67,46 @@ class HealthSignalSource(SignalSource):
         return {"health_events": len(self.monitor.events)}
 
 
+class HistoryScheduleSource(SignalSource):
+    """Publishes history-mined threshold targets when their time comes.
+
+    The schedule (:attr:`repro.core.config.AtroposConfig.
+    history_schedule`, typically derived by
+    :func:`repro.regress.schedule.derive_schedule` from a regress
+    baseline's per-window history) is sorted once; each tick the due
+    entries are published as the ``history_targets`` signal and the
+    :class:`AdaptiveThresholdPolicy` applies them as audited
+    ``DecisionKind.ADAPT`` moves.  Purely time-driven, so scheduled
+    runs stay byte-identical per seed.
+    """
+
+    name = "history-schedule"
+
+    def __init__(self, schedule) -> None:
+        self._entries = sorted(
+            (dict(entry) for entry in schedule),
+            key=lambda entry: (entry["time"], entry["param"]),
+        )
+        self._cursor = 0
+
+    def sample(self, now: float, signals: Dict[str, Any]) -> None:
+        due: List[Dict[str, Any]] = []
+        while (
+            self._cursor < len(self._entries)
+            and self._entries[self._cursor]["time"] <= now
+        ):
+            due.append(self._entries[self._cursor])
+            self._cursor += 1
+        if due:
+            signals["history_targets"] = due
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        return {
+            "schedule_entries": len(self._entries),
+            "schedule_published": self._cursor,
+        }
+
+
 class AdaptiveThresholdPolicy(AdaptationPolicy):
     """Widen on flapping, tighten on sustained p99, relax on recovery."""
 
@@ -90,6 +130,16 @@ class AdaptiveThresholdPolicy(AdaptationPolicy):
 
     def adapt(self, now: float, signals: Dict[str, Any]) -> None:
         cfg = self.config
+        # History-mined targets first: a schedule encodes *known* phase
+        # boundaries, so it outranks this window's reactive evidence
+        # (which may immediately refine the scheduled value).
+        for target in signals.get("history_targets", ()):
+            self._move(
+                now,
+                target["param"],
+                float(target["value"]),
+                "history-schedule",
+            )
         events = signals.get("health_events", ())
         flapping = any(e.kind == "detector-flapping" for e in events)
         ceiling = any(e.kind == "p99-ceiling" for e in events)

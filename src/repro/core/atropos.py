@@ -377,6 +377,12 @@ class Atropos(BaseController):
                     )
                 )
             )
+            if self.config.history_schedule:
+                from .adaptive import HistoryScheduleSource
+
+                sources.append(
+                    HistoryScheduleSource(self.config.history_schedule)
+                )
         return sources
 
     # ------------------------------------------------------------------

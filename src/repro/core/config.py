@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, List
 
 
 @dataclass
@@ -124,6 +124,14 @@ class AtroposConfig:
     #: the configured baselines.
     adapt_recovery_windows: int = 20
 
+    #: History-mined threshold schedule (``repro.regress.schedule``):
+    #: time-ordered ``{"time", "param", "value"}`` entries applied by the
+    #: adaptive policy when their time comes, as audited
+    #: ``DecisionKind.ADAPT`` moves.  ``param`` is ``detection_window``
+    #: or ``slo_slack``.  Requires ``adaptive_thresholds=True`` (the
+    #: schedule rides the adaptation stage of the pipeline).
+    history_schedule: List[Dict[str, Any]] = field(default_factory=list)
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -201,6 +209,37 @@ class AtroposConfig:
                 problems.append(
                     f"contention_threshold_overrides[{resource!r}] must be "
                     f"> 0 (got {value!r})"
+                )
+        if self.history_schedule and not self.adaptive_thresholds:
+            problems.append(
+                "history_schedule requires adaptive_thresholds=True "
+                "(schedules are applied by the adaptation stage)"
+            )
+        for i, entry in enumerate(self.history_schedule):
+            if not isinstance(entry, dict):
+                problems.append(
+                    f"history_schedule[{i}] must be a dict "
+                    f"(got {entry!r})"
+                )
+                continue
+            param = entry.get("param")
+            if param not in ("detection_window", "slo_slack"):
+                problems.append(
+                    f"history_schedule[{i}] param must be "
+                    "'detection_window' or 'slo_slack' "
+                    f"(got {param!r})"
+                )
+            time = entry.get("time")
+            if not isinstance(time, (int, float)) or time < 0:
+                problems.append(
+                    f"history_schedule[{i}] time must be >= 0 "
+                    f"(got {time!r})"
+                )
+            value = entry.get("value")
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"history_schedule[{i}] value must be > 0 "
+                    f"(got {value!r})"
                 )
         if problems:
             raise ValueError(

@@ -25,15 +25,101 @@ scenario's expected-culprit set), victim p99, goodput, and the
 directive/quarantine counts.  The headline: coordinated attribution
 drives the wrong-culprit rate to zero while beating the local pipelines
 on victim p99 *and* goodput.
+
+Fleet runs are also available as the ``cluster`` campaign family (a
+custom :class:`~repro.experiments.harness.SimBuild` runner like the
+``dag`` family), so ``repro regress`` can snapshot and drift-check the
+fleet digest/scalars through the content-addressed cache.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..cluster import demo_fleet, run_fleet
 from ..cluster.spec import MODES
+from ..sim.metrics import Summary
+from .harness import SimBuild, register_sim
 from .tables import ExperimentResult, ExperimentTable
+
+
+def _fleet_summary(payload: Dict[str, Any], duration: float,
+                   warmup: float) -> Summary:
+    """Condense a FleetResult payload into the campaign Summary schema.
+
+    Latency fields are the fleet-wide victim statistics; throughput
+    aggregates the per-node reports.  Counters the fleet does not track
+    per-request (drops, timeouts) stay zero.
+    """
+    effective = max(duration - warmup, 1e-9)
+    throughput = sum(
+        report["throughput"] for report in payload["node_reports"]
+    )
+    p99 = payload["victim_p99"]
+    nan = float("nan")
+    completed = int(round(throughput * effective))
+    return Summary(
+        duration=effective,
+        throughput=throughput,
+        p50_latency=nan,
+        p99_latency=nan if p99 is None else p99,
+        mean_latency=nan,
+        drop_rate=0.0,
+        completed=completed,
+        dropped=0,
+        cancelled=int(payload["cancels_total"]),
+        timed_out=0,
+    )
+
+
+@register_sim("cluster")
+def _build_cluster(params: Dict[str, Any]) -> SimBuild:
+    """The ``cluster`` family: one fleet run per spec.
+
+    Params: ``fleet`` (a :class:`~repro.cluster.spec.FleetSpec` dict
+    *without* the seed/duration/warmup keys -- those live on the RunSpec
+    identity).  The fleet's node sims run serially inside the campaign
+    worker for the same daemonized-fork reason as the ``dag`` family.
+    """
+    from ..cluster.spec import FleetSpec
+
+    fleet = dict(params.get("fleet") or {})
+    for key in ("seed", "duration", "warmup"):
+        fleet.pop(key, None)
+
+    def runner(seed, duration, warmup, label=None):
+        spec = FleetSpec.from_dict(
+            dict(fleet, seed=seed, duration=duration, warmup=warmup)
+        )
+        result = run_fleet(spec, jobs=1)
+        payload = result.to_dict()
+        extras = {"fleet": payload, "fleet_digest": result.digest()}
+        return _fleet_summary(payload, duration, warmup), extras
+
+    return SimBuild(duration=16.0, warmup=4.0, runner=runner)
+
+
+def cluster_spec(
+    experiment: str,
+    fleet: Dict[str, Any],
+    seed: int,
+    duration: float,
+    warmup: float,
+) -> "RunSpec":
+    """Build the campaign spec for one fleet run."""
+    from ..campaign.spec import RunSpec
+
+    clean = dict(fleet)
+    for key in ("seed", "duration", "warmup"):
+        clean.pop(key, None)
+    return RunSpec(
+        experiment=experiment,
+        family="cluster",
+        params={"fleet": clean},
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+    )
 
 
 def run(

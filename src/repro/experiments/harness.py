@@ -279,6 +279,14 @@ def extract_extras(result: RunResult) -> Dict[str, Any]:
     cancellation counters and per-operation completed-latency sums over
     the warm-up-trimmed records -- so cached campaign results can feed
     every consumer without keeping RunResult objects around.
+
+    The stable observability surface ``repro regress`` snapshots is
+    always present: ``series`` (per-window throughput/p99/goodput/
+    cancel-rate arrays, :func:`repro.telemetry.series.window_series`
+    over the same trimmed records as the summary) and -- when the
+    controller keeps a decision log -- ``decision_mix`` /``audit_mix``
+    (event counts per :class:`~repro.core.decision_log.DecisionKind`
+    value and per audit verdict, keys sorted).
     """
     controller = result.controller
     extras: Dict[str, Any] = {
@@ -290,6 +298,34 @@ def extract_extras(result: RunResult) -> Dict[str, Any]:
     extras["cancelled_ops"] = [
         e.op_name for e in (log or []) if getattr(e, "delivered", True)
     ]
+    from ..telemetry.health import slo_of
+    from ..telemetry.series import window_series
+
+    extras["series"] = window_series(
+        result.trimmed_collector.records,
+        result.duration,
+        slo=slo_of(controller),
+        cancel_times=[
+            e.time for e in (log or [])
+            if getattr(e, "delivered", True)
+        ],
+    )
+    decision_log = getattr(controller, "decision_log", None)
+    if decision_log is not None:
+        decision_mix: Dict[str, int] = {}
+        for event in decision_log.events:
+            kind = event.kind.value
+            decision_mix[kind] = decision_mix.get(kind, 0) + 1
+        audit_mix: Dict[str, int] = {}
+        for audit in decision_log.audits:
+            verdict = audit.verdict
+            audit_mix[verdict] = audit_mix.get(verdict, 0) + 1
+        extras["decision_mix"] = {
+            k: decision_mix[k] for k in sorted(decision_mix)
+        }
+        extras["audit_mix"] = {
+            k: audit_mix[k] for k in sorted(audit_mix)
+        }
     extras["cancel_signals_dropped"] = int(
         getattr(cancellation, "dropped_signals", 0)
     )

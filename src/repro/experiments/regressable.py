@@ -1,0 +1,109 @@
+"""Registry of regressable targets for ``repro regress``.
+
+A *regress entry* is ``(name, RunSpec)``: a stable display name plus the
+declarative run the observatory snapshots and later replays.  Three
+families are registered:
+
+``case``
+    The standard six-case single-node family (ATROPOS on the direct
+    config-override build path, so threshold perturbations via
+    ``atropos_overrides`` reach the detector).  These carry full
+    per-window series, health counts, and decision/audit mixes.
+``dag``
+    The microservice-DAG storm under the atropos controller; a custom-
+    runner family, regressed on summary scalars plus the DagResult
+    content digest.
+``cluster``
+    The coordinated fleet-attribution demo; regressed on summary
+    scalars plus the FleetResult content digest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..campaign.spec import RunSpec
+
+#: The standard regress case set: the quick-ablation four plus the two
+#: SLO-variant cases (c7: 40ms SLO, c14 exercises re-execution).
+REGRESS_CASES = ("c1", "c2", "c5", "c7", "c12", "c14")
+
+#: Known target family names, in capture order.
+REGRESS_TARGETS = ("case", "dag", "cluster")
+
+#: Experiment id stamped on regress-owned RunSpecs (bookkeeping only;
+#: excluded from cache identity, so regress runs share cache entries
+#: with the figures).
+EXPERIMENT_ID = "regress"
+
+
+def case_entries(
+    cases: Iterable[str] = REGRESS_CASES, seed: int = 1
+) -> List[Tuple[str, RunSpec]]:
+    """ATROPOS runs of the named cases on the direct-config build path."""
+    from .case_family import case_spec
+
+    return [
+        (
+            f"case:{case_id}",
+            case_spec(EXPERIMENT_ID, case_id, seed, atropos_overrides={}),
+        )
+        for case_id in cases
+    ]
+
+
+def dag_entries(seed: int = 1) -> List[Tuple[str, RunSpec]]:
+    """The DAG storm contrast's atropos arm (quick horizon)."""
+    from ..workloads.dag import dag_storm
+    from .dag_overload import dag_spec
+
+    scenario = dag_storm(n_leaves=2).to_dict()
+    for key in ("seed", "duration", "warmup"):
+        scenario.pop(key)
+    return [
+        (
+            "dag:storm-atropos",
+            dag_spec(EXPERIMENT_ID, "atropos", scenario, seed, 16.0, 4.0),
+        )
+    ]
+
+
+def cluster_entries(seed: int = 1) -> List[Tuple[str, RunSpec]]:
+    """The coordinated fleet-attribution demo (quick horizon)."""
+    from ..cluster import demo_fleet
+    from .cluster_attribution import cluster_spec
+
+    fleet = demo_fleet(n_nodes=3, mode="coordinated").to_dict()
+    return [
+        (
+            "cluster:coordinated",
+            cluster_spec(EXPERIMENT_ID, fleet, seed, 12.0, 3.0),
+        )
+    ]
+
+
+def regress_entries(
+    targets: Iterable[str] = ("case",),
+    cases: Iterable[str] = REGRESS_CASES,
+    seed: int = 1,
+) -> List[Tuple[str, RunSpec]]:
+    """Resolve target family names into ``(name, RunSpec)`` entries.
+
+    The default target set is the case family alone -- that is what the
+    checked-in ``REGRESS_BASELINE.json`` anchors -- with ``dag`` and
+    ``cluster`` opt-in (their runs are an order of magnitude slower).
+    """
+    entries: List[Tuple[str, RunSpec]] = []
+    for target in targets:
+        if target == "case":
+            entries.extend(case_entries(cases, seed))
+        elif target == "dag":
+            entries.extend(dag_entries(seed))
+        elif target == "cluster":
+            entries.extend(cluster_entries(seed))
+        else:
+            raise KeyError(
+                f"unknown regress target {target!r}; "
+                f"known: {list(REGRESS_TARGETS)}"
+            )
+    return entries

@@ -1,0 +1,114 @@
+"""Capture regress snapshots by running targets through the campaign.
+
+Capture and check share one code path: resolve ``(name, RunSpec)``
+entries, execute them via :func:`repro.campaign.execute` (content-
+addressed caching applies -- an unchanged tree re-serves the baseline's
+own runs from cache), and condense each outcome into a
+:class:`~repro.regress.baseline.CaseCapture`.
+
+:func:`apply_perturbation` is the seeded-drift hook: it merges config
+overrides into the ``atropos_overrides`` of every case-family spec, the
+same direct-build path the ablations use, so a perturbed check runs a
+*genuinely different* controller configuration (different cache key,
+different behaviour) rather than faking drifted numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..campaign.spec import RunSpec
+from .baseline import CaseCapture, RegressBaseline
+
+
+def capture(
+    name: str,
+    entries: Sequence[Tuple[str, RunSpec]],
+    jobs: Optional[int] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> RegressBaseline:
+    """Run the entries and snapshot the outcomes as a baseline."""
+    from ..campaign import execute
+
+    specs = [spec for _, spec in entries]
+    outcomes = execute(specs, jobs=jobs)
+    cases = [
+        CaseCapture.from_outcome(entry_name, outcome)
+        for (entry_name, _), outcome in zip(entries, outcomes)
+    ]
+    return RegressBaseline(name=name, cases=cases, meta=dict(meta or {}))
+
+
+def recapture(
+    baseline: RegressBaseline,
+    jobs: Optional[int] = None,
+    perturb: Optional[Dict[str, Any]] = None,
+) -> RegressBaseline:
+    """Re-run a baseline's own specs against the current tree.
+
+    The baseline file is self-describing: each capture carries its
+    RunSpec, so a check needs no target registry -- it replays exactly
+    what was snapshotted (optionally perturbed).
+    """
+    entries = [
+        (capture_.name, RunSpec.from_dict(capture_.spec))
+        for capture_ in baseline.cases
+    ]
+    if perturb:
+        entries = [
+            (entry_name, apply_perturbation(spec, perturb))
+            for entry_name, spec in entries
+        ]
+    meta = {"checked_against": baseline.name}
+    if perturb:
+        meta["perturb"] = dict(perturb)
+    return capture(baseline.name, entries, jobs=jobs, meta=meta)
+
+
+def apply_perturbation(
+    spec: RunSpec, overrides: Dict[str, Any]
+) -> RunSpec:
+    """Merge config overrides into a case-family spec.
+
+    Only ``case`` specs are perturbable (they own an
+    ``atropos_overrides`` config path); other families pass through
+    unchanged so a mixed-target check still perturbs what it can.
+    """
+    if spec.family != "case" or not overrides:
+        return spec
+    params = dict(spec.params)
+    merged = dict(params.get("atropos_overrides") or {})
+    merged.update(overrides)
+    params["atropos_overrides"] = merged
+    return RunSpec(
+        experiment=spec.experiment,
+        family=spec.family,
+        params=params,
+        seed=spec.seed,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        faults=spec.faults,
+        adaptive=spec.adaptive,
+    )
+
+
+def parse_perturbations(pairs: Iterable[str]) -> Dict[str, Any]:
+    """Parse CLI ``KEY=VALUE`` pairs; values are JSON when they parse.
+
+    ``slo_slack=0.8`` -> float, ``adaptive_thresholds=true`` -> bool,
+    anything unparseable stays a string.
+    """
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"perturbation {pair!r} is not KEY=VALUE"
+            )
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw
+        overrides[key] = value
+    return overrides

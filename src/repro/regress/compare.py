@@ -1,0 +1,245 @@
+"""Drift detection between a baseline snapshot and a fresh capture.
+
+Per case, three test families from :mod:`repro.regress.stats`:
+
+* **series** -- per-window paired deltas over each serialized series
+  (throughput / p99 / goodput / cancel-rate) with a deterministic
+  bootstrap CI; drift needs the CI to exclude zero *and* a relative
+  change above the tolerance.  A mismatched window grid is itself
+  drift (a run whose horizon changed is not the same run).
+* **counts** -- two-sample Poisson z-tests over the health-event
+  counts by rule, the DecisionKind histogram, and the audit-verdict
+  mix.
+* **scalars** -- relative-tolerance checks over the summary fields,
+  plus exact digest equality for custom-runner families (dag/cluster).
+
+The sims are deterministic per seed, so an unchanged tree compares
+exactly equal and the verdict is byte-identical across hash seeds; any
+drift therefore reflects a real behavioural change, and the stats only
+exist to separate material changes from trivia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..telemetry.series import SERIES_KEYS
+from .baseline import SUMMARY_FIELDS, CaseCapture, RegressBaseline
+from .stats import (
+    BOOTSTRAP_RESAMPLES,
+    REL_TOL,
+    count_drift,
+    paired_series_drift,
+    scalar_drift,
+)
+
+
+@dataclass
+class CaseDrift:
+    """Every drift test's outcome for one named capture."""
+
+    name: str
+    missing: bool = False
+    #: series key -> :func:`paired_series_drift` result.
+    series: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: "health:<rule>" / "decision:<kind>" / "audit:<verdict>" ->
+    #: :func:`count_drift` result.
+    counts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: summary field -> :func:`scalar_drift` result.
+    scalars: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Digest equality for custom-runner families (None = no digest).
+    digest: Optional[Dict[str, Any]] = None
+    grid_mismatch: bool = False
+
+    def drifting(self) -> List[str]:
+        """Names of the drifting items, stable order."""
+        items: List[str] = []
+        if self.missing:
+            items.append("missing")
+        if self.grid_mismatch:
+            items.append("series:grid")
+        for key in SERIES_KEYS:
+            result = self.series.get(key)
+            if result and result.get("drifted"):
+                items.append(f"series:{key}")
+        for key in sorted(self.counts):
+            if self.counts[key].get("drifted"):
+                items.append(f"count:{key}")
+        for key in SUMMARY_FIELDS:
+            result = self.scalars.get(key)
+            if result and result.get("drifted"):
+                items.append(f"summary:{key}")
+        if self.digest and self.digest.get("drifted"):
+            items.append("digest")
+        return items
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.drifting())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "missing": self.missing,
+            "grid_mismatch": self.grid_mismatch,
+            "series": self.series,
+            "counts": self.counts,
+            "scalars": self.scalars,
+            "digest": self.digest,
+            "drifting": self.drifting(),
+        }
+
+
+@dataclass
+class RegressReport:
+    """The full check verdict: one :class:`CaseDrift` per capture."""
+
+    baseline_name: str
+    current_name: str
+    rel_tol: float
+    cases: List[CaseDrift] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> bool:
+        return any(case.drifted for case in self.cases)
+
+    def drifting_names(self) -> List[str]:
+        """Flat ``case/item`` names of everything that drifted."""
+        return [
+            f"{case.name}/{item}"
+            for case in self.cases
+            for item in case.drifting()
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline_name,
+            "current": self.current_name,
+            "rel_tol": self.rel_tol,
+            "drifted": self.drifted,
+            "drifting": self.drifting_names(),
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"regress check vs baseline {self.baseline_name!r} "
+            f"(rel tol {self.rel_tol:.0%})",
+            "",
+        ]
+        for case in self.cases:
+            drifting = case.drifting()
+            verdict = (
+                "DRIFT: " + ", ".join(drifting) if drifting else "ok"
+            )
+            lines.append(f"  {case.name:<24} {verdict}")
+            for item in drifting:
+                detail = self._detail(case, item)
+                if detail:
+                    lines.append(f"    {item}: {detail}")
+        lines.append("")
+        if self.drifted:
+            names = ", ".join(self.drifting_names())
+            lines.append(f"verdict: DRIFT ({names})")
+        else:
+            lines.append("verdict: PASS")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _detail(case: CaseDrift, item: str) -> str:
+        kind, _, key = item.partition(":")
+        if kind == "series" and key in case.series:
+            result = case.series[key]
+            ci = result.get("ci") or [None, None]
+            return (
+                f"mean {result.get('base_mean')} -> "
+                f"{result.get('cur_mean')} "
+                f"(delta CI [{ci[0]}, {ci[1]}], "
+                f"rel {result.get('rel_change')})"
+            )
+        if kind == "count":
+            result = case.counts.get(key, {})
+            return (
+                f"{result.get('base')} -> {result.get('cur')} "
+                f"(z={result.get('z')})"
+            )
+        if kind == "summary":
+            result = case.scalars.get(item.split(":", 1)[1], {})
+            return f"{result.get('base')} -> {result.get('cur')}"
+        if item == "digest" and case.digest:
+            return (
+                f"{(case.digest.get('base') or '?')[:12]} -> "
+                f"{(case.digest.get('cur') or '?')[:12]}"
+            )
+        return ""
+
+
+def _compare_case(
+    base: CaseCapture,
+    cur: Optional[CaseCapture],
+    rel_tol: float,
+    resamples: int,
+) -> CaseDrift:
+    drift = CaseDrift(name=base.name)
+    if cur is None:
+        drift.missing = True
+        return drift
+    if base.series is not None or cur.series is not None:
+        base_series = base.series or {}
+        cur_series = cur.series or {}
+        base_grid = (base_series.get("window"), base_series.get("end"))
+        cur_grid = (cur_series.get("window"), cur_series.get("end"))
+        if base_grid != cur_grid:
+            drift.grid_mismatch = True
+        for key in SERIES_KEYS:
+            drift.series[key] = paired_series_drift(
+                base_series.get(key, ()),
+                cur_series.get(key, ()),
+                rel_tol=rel_tol,
+                resamples=resamples,
+            )
+    for prefix, base_map, cur_map in (
+        ("health", base.health_counts, cur.health_counts),
+        ("decision", base.decision_mix, cur.decision_mix),
+        ("audit", base.audit_mix, cur.audit_mix),
+    ):
+        for key in sorted(set(base_map) | set(cur_map)):
+            drift.counts[f"{prefix}:{key}"] = count_drift(
+                base_map.get(key, 0), cur_map.get(key, 0)
+            )
+    for key in SUMMARY_FIELDS:
+        drift.scalars[key] = scalar_drift(
+            base.summary.get(key), cur.summary.get(key), rel_tol=rel_tol
+        )
+    if base.digest is not None or cur.digest is not None:
+        drift.digest = {
+            "base": base.digest,
+            "cur": cur.digest,
+            "drifted": base.digest != cur.digest,
+        }
+    return drift
+
+
+def compare(
+    baseline: RegressBaseline,
+    current: RegressBaseline,
+    rel_tol: float = REL_TOL,
+    resamples: int = BOOTSTRAP_RESAMPLES,
+) -> RegressReport:
+    """Run every drift test; captures are matched by name."""
+    report = RegressReport(
+        baseline_name=baseline.name,
+        current_name=current.name,
+        rel_tol=rel_tol,
+    )
+    for base_case in baseline.cases:
+        report.cases.append(
+            _compare_case(
+                base_case,
+                current.case(base_case.name),
+                rel_tol=rel_tol,
+                resamples=resamples,
+            )
+        )
+    return report

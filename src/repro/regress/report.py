@@ -1,0 +1,250 @@
+"""Self-contained HTML diff report for a regress check.
+
+One section per capture: side-by-side SVG sparkline panels overlaying
+the baseline (grey) and current (blue) window series on a shared value
+scale -- the sparkline geometry is
+:func:`repro.telemetry.report.spark_points`, the same code path as the
+telemetry run reports -- plus the count/scalar drift tables.  Drifting
+panels are titled in red and the drifting series are named up front, so
+a CI failure links straight to what moved.
+
+Deterministic: no wall clock, fixed float formatting, inline CSS/SVG
+only.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry.report import SPARK_H, SPARK_W, _fmt, spark_points
+from ..telemetry.series import SERIES_KEYS
+from .baseline import RegressBaseline
+from .compare import CaseDrift, RegressReport
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 1080px; color: #1c2733; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em;
+     border-bottom: 1px solid #d8dee6; padding-bottom: .2em; }
+.meta { color: #5a6b7b; font-size: .85em; }
+.verdict-pass { color: #2e7d32; font-weight: 600; }
+.verdict-drift { color: #b00020; font-weight: 600; }
+.panels { display: flex; flex-wrap: wrap; gap: 14px; }
+.panel { border: 1px solid #d8dee6; border-radius: 6px;
+         padding: 8px 10px; background: #fbfcfe; }
+.panel .title { font-size: .8em; color: #44525f; margin-bottom: 2px; }
+.panel .title.drift { color: #b00020; font-weight: 600; }
+.panel .last { font-size: .82em; }
+.legend { font-size: .8em; color: #5a6b7b; }
+.legend .base { color: #8a97a5; } .legend .cur { color: #2255a4; }
+table.drift { border-collapse: collapse; font-size: .82em;
+              margin-top: .6em; }
+table.drift th, table.drift td { border: 1px solid #d8dee6;
+              padding: 3px 8px; text-align: left; }
+table.drift th { background: #eef2f7; }
+td.drifted { color: #b00020; font-weight: 600; }
+"""
+
+_BASE_COLOUR = "#8a97a5"
+_CUR_COLOUR = "#2255a4"
+
+
+def _series_pairs(
+    series: Optional[Dict[str, Any]], key: str
+) -> List[Tuple[float, float]]:
+    if not series:
+        return []
+    ends = series.get("end", ())
+    values = series.get(key, ())
+    return [
+        (float(end), float("nan") if value is None else float(value))
+        for end, value in zip(ends, values)
+    ]
+
+
+def _diff_panel(
+    key: str,
+    base_series: Optional[Dict[str, Any]],
+    cur_series: Optional[Dict[str, Any]],
+    drift: Optional[Dict[str, Any]],
+) -> str:
+    base_pairs = _series_pairs(base_series, key)
+    cur_pairs = _series_pairs(cur_series, key)
+    finite = [v for _, v in base_pairs + cur_pairs if v == v]
+    if not finite:
+        return ""
+    duration = max(
+        [t for t, _ in base_pairs + cur_pairs] or [0.0]
+    )
+    lo = min(finite)
+    hi = max(finite)
+    polylines = []
+    for pairs, colour, width in (
+        (base_pairs, _BASE_COLOUR, "1.1"),
+        (cur_pairs, _CUR_COLOUR, "1.4"),
+    ):
+        pts = spark_points(pairs, duration, lo=lo, hi=hi)
+        if pts:
+            polylines.append(
+                f'<polyline points="{pts}" fill="none" '
+                f'stroke="{colour}" stroke-width="{width}"/>'
+            )
+    drifted = bool(drift and drift.get("drifted"))
+    title_cls = "title drift" if drifted else "title"
+    flag = " (drift)" if drifted else ""
+    detail = ""
+    if drift and drift.get("base_mean") is not None:
+        detail = (
+            f'<div class="last">mean {_fmt(drift["base_mean"])} &rarr; '
+            f'{_fmt(drift["cur_mean"])}'
+            + (
+                f' &middot; rel {_fmt(drift["rel_change"])}'
+                if drift.get("rel_change") is not None else ""
+            )
+            + "</div>"
+        )
+    return (
+        '<div class="panel">'
+        f'<div class="{title_cls}">{html.escape(key)}{flag}</div>'
+        f'<svg width="{SPARK_W}" height="{SPARK_H}" '
+        f'viewBox="0 0 {SPARK_W} {SPARK_H}">{"".join(polylines)}</svg>'
+        f"{detail}"
+        "</div>"
+    )
+
+
+def _drift_table(case: CaseDrift) -> str:
+    rows = []
+    for label, result in (
+        [(key, case.counts[key]) for key in sorted(case.counts)]
+        + [
+            (f"summary:{key}", case.scalars[key])
+            for key in sorted(case.scalars)
+        ]
+    ):
+        drifted = result.get("drifted")
+        cls = ' class="drifted"' if drifted else ""
+        rows.append(
+            "<tr>"
+            f"<td{cls}>{html.escape(label)}</td>"
+            f"<td>{_fmt_cell(result.get('base'))}</td>"
+            f"<td>{_fmt_cell(result.get('cur'))}</td>"
+            f"<td>{'drift' if drifted else 'ok'}</td>"
+            "</tr>"
+        )
+    if case.digest:
+        drifted = case.digest.get("drifted")
+        cls = ' class="drifted"' if drifted else ""
+        rows.append(
+            "<tr>"
+            f"<td{cls}>digest</td>"
+            f"<td>{html.escape(str(case.digest.get('base'))[:12])}</td>"
+            f"<td>{html.escape(str(case.digest.get('cur'))[:12])}</td>"
+            f"<td>{'drift' if drifted else 'ok'}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        '<table class="drift"><tr><th>check</th><th>baseline</th>'
+        "<th>current</th><th>verdict</th></tr>"
+        f'{"".join(rows)}</table>'
+    )
+
+
+def _fmt_cell(value: Any) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        return _fmt(value)
+    return html.escape(str(value))
+
+
+def _case_section(
+    case: CaseDrift,
+    baseline: RegressBaseline,
+    current: RegressBaseline,
+) -> str:
+    base_capture = baseline.case(case.name)
+    cur_capture = current.case(case.name)
+    drifting = case.drifting()
+    verdict = (
+        f'<span class="verdict-drift">DRIFT: '
+        f"{html.escape(', '.join(drifting))}</span>"
+        if drifting
+        else '<span class="verdict-pass">ok</span>'
+    )
+    if case.missing:
+        return (
+            f"<h2>{html.escape(case.name)}</h2>"
+            f"<p>{verdict} &middot; no matching capture in the current "
+            "run</p>"
+        )
+    base_series = base_capture.series if base_capture else None
+    cur_series = cur_capture.series if cur_capture else None
+    panels = "".join(
+        _diff_panel(key, base_series, cur_series, case.series.get(key))
+        for key in SERIES_KEYS
+    )
+    panels_html = (
+        f'<div class="panels">{panels}</div>' if panels else
+        '<p class="meta">no window series (digest-compared family)</p>'
+    )
+    return (
+        f"<h2>{html.escape(case.name)}</h2>"
+        f"<p>{verdict}</p>"
+        f"{panels_html}"
+        f"{_drift_table(case)}"
+    )
+
+
+def render_diff_report(
+    report: RegressReport,
+    baseline: RegressBaseline,
+    current: RegressBaseline,
+    title: Optional[str] = None,
+) -> str:
+    """Render the complete, self-contained HTML diff."""
+    heading = title or (
+        f"repro regress: {report.baseline_name or 'baseline'} vs current"
+    )
+    if report.drifted:
+        names = ", ".join(report.drifting_names())
+        verdict = (
+            f'<p class="verdict-drift">DRIFT &middot; '
+            f"{html.escape(names)}</p>"
+        )
+    else:
+        verdict = '<p class="verdict-pass">PASS &middot; no drift</p>'
+    sections = "".join(
+        _case_section(case, baseline, current) for case in report.cases
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{html.escape(heading)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{html.escape(heading)}</h1>"
+        f"{verdict}"
+        '<p class="legend"><span class="base">&#9644; baseline</span> '
+        '&middot; <span class="cur">&#9644; current</span> &middot; '
+        f"rel tol {report.rel_tol:.0%} &middot; "
+        f"{len(report.cases)} capture(s) &middot; "
+        "generated by repro.regress</p>"
+        f"{sections}"
+        "</body></html>\n"
+    )
+
+
+def write_diff_report(
+    report: RegressReport,
+    baseline: RegressBaseline,
+    current: RegressBaseline,
+    path: str,
+    title: Optional[str] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            render_diff_report(report, baseline, current, title)
+        )

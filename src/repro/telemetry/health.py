@@ -286,6 +286,68 @@ class HealthMonitor:
         )
 
 
+def series_rules(slo: Optional[float] = None) -> List[HealthRule]:
+    """The rule subset computable post-hoc from a serialized series.
+
+    A :func:`repro.telemetry.series.window_series` payload carries
+    per-window p99 / completion / cancellation values but no live
+    detector trigger, so ``detector-flapping`` (an in-loop signal) is
+    excluded; the parameters match :func:`default_health_rules`.
+    """
+    rules = [
+        HealthRule(
+            name="cancel-storm", kind="cancel-storm", severity="critical",
+            params={"max_per_window": 3},
+        ),
+    ]
+    if slo is not None:
+        rules.append(
+            HealthRule(
+                name="p99-ceiling", kind="p99-ceiling", severity="critical",
+                params={"limit": 5.0 * slo, "min_samples": 3},
+            )
+        )
+    return rules
+
+
+def series_health_counts(
+    series: Mapping[str, Any],
+    rules: Optional[Sequence[HealthRule]] = None,
+) -> Dict[str, int]:
+    """Health-event counts by rule over a serialized window series.
+
+    Replays the window rules against a
+    :func:`repro.telemetry.series.window_series` payload (the shape
+    campaign extras cache), so ``repro regress`` gets per-rule event
+    counts from cached runs without a telemetry session.  Every rule in
+    play appears in the result, zero-count rules included, keys sorted.
+    """
+    window = float(series.get("window") or 0.0) or 1.0
+    if rules is None:
+        rules = series_rules(series.get("slo"))
+    monitor = HealthMonitor(rules)
+    p99s = series.get("p99", ())
+    throughputs = series.get("throughput", ())
+    cancels = series.get("cancels", ())
+    for i, end in enumerate(series.get("end", ())):
+        p99 = p99s[i] if i < len(p99s) else None
+        values = {
+            "p99": float("nan") if p99 is None else float(p99),
+            "completed_window": (
+                float(throughputs[i]) * window
+                if i < len(throughputs) else 0.0
+            ),
+            "cancels_window": (
+                float(cancels[i]) if i < len(cancels) else 0.0
+            ),
+        }
+        monitor.evaluate(float(end), values)
+    counts = {rule.name: 0 for rule in rules}
+    for event in monitor.events:
+        counts[event.rule] = counts.get(event.rule, 0) + 1
+    return {name: counts[name] for name in sorted(counts)}
+
+
 def worst_severity(events: Sequence[HealthEvent]) -> Optional[str]:
     """'critical' > 'warn' > None, for timeline colouring."""
     if any(e.severity == "critical" for e in events):

@@ -65,6 +65,31 @@ def _spark_points(
     return " ".join(pts), lo, hi
 
 
+def spark_points(
+    series: Sequence[Tuple[float, float]],
+    duration: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Public sparkline geometry (shared with ``repro.regress.report``).
+
+    Like :func:`_spark_points` but with an optional fixed value range,
+    so two series (baseline vs current) can be overlaid on one scale.
+    """
+    finite = [(t, v) for t, v in series if v == v]
+    if not finite or duration <= 0:
+        return ""
+    lo = min(v for _, v in finite) if lo is None else lo
+    hi = max(v for _, v in finite) if hi is None else hi
+    span = (hi - lo) or 1.0
+    pts = []
+    for t, v in finite:
+        x = _PAD + (SPARK_W - 2 * _PAD) * min(t / duration, 1.0)
+        y = SPARK_H - _PAD - (SPARK_H - 2 * _PAD) * ((v - lo) / span)
+        pts.append(f"{x:.1f},{y:.1f}")
+    return " ".join(pts)
+
+
 def _sparkline(
     title: str,
     series: Sequence[Tuple[float, float]],

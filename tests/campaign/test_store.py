@@ -69,6 +69,59 @@ class TestResultStore:
         assert stats.total_bytes > 0
         assert "entries:       2" in stats.format()
 
+    def test_stats_breaks_down_by_family(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        other = _payload()
+        other["spec"] = dict(other["spec"], family="dag")
+        store.put(OTHER, other)
+        stats = store.stats()
+        assert stats.by_family == {"f": 1, "dag": 1}
+        text = stats.format()
+        assert "by family:" in text
+        assert f"schema:        v{CACHE_SCHEMA}" in text
+
+    def test_stats_counts_stale_schema_dirs(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        stale = tmp_path / "cache" / f"v{CACHE_SCHEMA - 1}" / "ab"
+        stale.mkdir(parents=True)
+        (stale / f"{OTHER}.json").write_text("{}")
+        stats = store.stats()
+        assert stats.entries == 1
+        assert stats.stale_entries == 1
+        assert stats.stale_bytes > 0
+        assert stats.by_schema == {CACHE_SCHEMA - 1: 1, CACHE_SCHEMA: 1}
+        text = stats.format()
+        assert "(stale)" in text
+        assert "warning: 1 stale entry" in text
+        assert "repro cache clear" in text
+
+    def test_stats_no_stale_warning_when_current_only(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        text = store.stats().format()
+        assert "(stale)" not in text
+        assert "warning:" not in text
+        assert "by schema:" not in text
+
+    def test_unreadable_entry_counts_as_unknown_family(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        store._path(KEY).write_text("{broken")
+        stats = store.stats()
+        assert stats.by_family == {"?": 1}
+
+    def test_clear_removes_stale_schema_dirs_too(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        store.put(KEY, _payload())
+        stale = tmp_path / "cache" / f"v{CACHE_SCHEMA - 1}" / "cd"
+        stale.mkdir(parents=True)
+        (stale / f"{OTHER}.json").write_text("{}")
+        assert store.clear() == 2
+        assert store.stats().stale_entries == 0
+        assert not stale.parent.exists()
+
     def test_clear_removes_everything(self, tmp_path):
         store = ResultStore(tmp_path / "cache")
         store.put(KEY, _payload())

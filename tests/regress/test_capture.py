@@ -1,0 +1,129 @@
+"""Tests for capture/recapture and the seeded-perturbation hook."""
+
+import pytest
+
+from repro.campaign.spec import RunSpec
+from repro.experiments.case_family import case_spec
+from repro.experiments.regressable import (
+    REGRESS_CASES,
+    regress_entries,
+)
+from repro.regress.capture import (
+    apply_perturbation,
+    capture,
+    parse_perturbations,
+    recapture,
+)
+from repro.regress.compare import compare
+
+
+def _short_case_spec(case_id="c1", seed=1, **overrides):
+    """A real case spec clipped to a few simulated seconds for speed.
+
+    c1's culprit phase starts early enough that five simulated seconds
+    include real overload (and therefore real sensitivity to the
+    detection-threshold perturbation the drift tests seed).
+    """
+    spec = case_spec("regress-test", case_id, seed,
+                     atropos_overrides=overrides or {})
+    return RunSpec(
+        experiment=spec.experiment,
+        family=spec.family,
+        params=spec.params,
+        seed=spec.seed,
+        duration=5.0,
+        warmup=1.0,
+    )
+
+
+class TestParsePerturbations:
+    def test_json_values(self):
+        parsed = parse_perturbations(
+            ["slo_slack=0.8", "adaptive_thresholds=true",
+             "min_window_samples=5"]
+        )
+        assert parsed == {"slo_slack": 0.8, "adaptive_thresholds": True,
+                          "min_window_samples": 5}
+
+    def test_unparseable_value_stays_string(self):
+        assert parse_perturbations(["mode=fast"]) == {"mode": "fast"}
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            parse_perturbations(["no-equals-sign"])
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            parse_perturbations(["=5"])
+
+
+class TestApplyPerturbation:
+    def test_case_spec_identity_changes(self):
+        spec = _short_case_spec()
+        perturbed = apply_perturbation(spec, {"contention_threshold": 0.6})
+        assert perturbed.identity() != spec.identity()
+        assert perturbed.params["atropos_overrides"] == \
+            {"contention_threshold": 0.6}
+        # Everything else rides along untouched.
+        assert perturbed.seed == spec.seed
+        assert perturbed.duration == spec.duration
+
+    def test_merges_over_existing_overrides(self):
+        spec = _short_case_spec(cancel_cooldown=0.1)
+        perturbed = apply_perturbation(spec, {"contention_threshold": 0.6})
+        assert perturbed.params["atropos_overrides"] == {
+            "cancel_cooldown": 0.1,
+            "contention_threshold": 0.6,
+        }
+
+    def test_non_case_family_passes_through(self):
+        spec = RunSpec(experiment="t", family="dag", params={})
+        assert apply_perturbation(spec, {"slo_slack": 0.8}) is spec
+
+    def test_empty_overrides_pass_through(self):
+        spec = _short_case_spec()
+        assert apply_perturbation(spec, {}) is spec
+
+
+class TestRegressEntries:
+    def test_default_targets_cover_cases(self):
+        entries = regress_entries()
+        names = [name for name, _ in entries]
+        assert names == [f"case:{cid}" for cid in REGRESS_CASES]
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(KeyError):
+            regress_entries(targets=("bogus",))
+
+    def test_dag_and_cluster_targets(self):
+        entries = regress_entries(targets=("dag", "cluster"))
+        families = {spec.family for _, spec in entries}
+        assert families == {"dag", "cluster"}
+
+
+class TestCaptureLoop:
+    def test_unchanged_tree_recapture_passes(self):
+        entries = [("case:c1", _short_case_spec())]
+        baseline = capture("t", entries, jobs=1, meta={"seed": 1})
+        current = recapture(baseline, jobs=1)
+        report = compare(baseline, current)
+        assert not report.drifted, report.format()
+        # Identical runs must compare exactly equal, not just within
+        # tolerance: that is what makes the verdict hash-seed stable.
+        assert baseline.cases[0].to_dict() == current.cases[0].to_dict()
+
+    def test_perturbed_recapture_drifts(self):
+        entries = [("case:c1", _short_case_spec())]
+        baseline = capture("t", entries, jobs=1)
+        current = recapture(
+            baseline, jobs=1, perturb={"contention_threshold": 0.6}
+        )
+        report = compare(baseline, current)
+        assert report.drifted, report.format()
+        assert report.drifting_names()
+        assert current.meta["perturb"] == {"contention_threshold": 0.6}
+
+    def test_recapture_replays_baseline_specs(self):
+        entries = [("case:c1", _short_case_spec())]
+        baseline = capture("t", entries, jobs=1)
+        current = recapture(baseline, jobs=1)
+        assert current.cases[0].spec == baseline.cases[0].spec
+        assert current.meta["checked_against"] == "t"

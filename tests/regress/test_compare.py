@@ -1,0 +1,127 @@
+"""Tests for baseline-vs-current drift comparison."""
+
+import copy
+
+from repro.regress.baseline import CaseCapture, RegressBaseline
+from repro.regress.compare import compare
+
+
+def _capture(name="case:c1", **over):
+    fields = dict(
+        name=name,
+        spec={"experiment": "regress", "family": "case",
+              "params": {"case_id": "c1"}, "seed": 1},
+        summary={
+            "throughput": 100.0,
+            "p50_latency": 0.005,
+            "p99_latency": 0.02,
+            "mean_latency": 0.007,
+            "drop_rate": 0.0,
+            "completed": 1000,
+            "dropped": 0,
+            "cancelled": 5,
+            "timed_out": 0,
+        },
+        series={
+            "window": 0.5,
+            "end": [0.5 * (i + 1) for i in range(20)],
+            "slo": 0.02,
+            "throughput": [100.0] * 20,
+            "p99": [0.01] * 20,
+            "goodput": [99.0] * 20,
+            "cancels": [0] * 20,
+        },
+        health_counts={"p99-ceiling": 0, "cancel-storm": 0},
+        decision_mix={"detection": 100, "cancellation": 5},
+        audit_mix={"cancelled": 5},
+        digest=None,
+    )
+    fields.update(over)
+    return CaseCapture(**fields)
+
+
+def _baseline(*captures, name="base"):
+    return RegressBaseline(name=name, cases=list(captures))
+
+
+class TestCompare:
+    def test_identical_capture_passes(self):
+        base = _baseline(_capture())
+        current = _baseline(copy.deepcopy(_capture()), name="cur")
+        report = compare(base, current)
+        assert not report.drifted
+        assert report.drifting_names() == []
+        assert report.format().endswith("verdict: PASS")
+
+    def test_series_shift_drifts_and_is_named(self):
+        cur = _capture()
+        cur.series = dict(cur.series, p99=[0.015] * 20)
+        report = compare(_baseline(_capture()), _baseline(cur))
+        assert report.drifted
+        assert "case:c1/series:p99" in report.drifting_names()
+        assert "series:p99" in report.format()
+        assert "verdict: DRIFT" in report.format()
+
+    def test_missing_case_is_drift(self):
+        report = compare(_baseline(_capture()), _baseline())
+        assert report.drifted
+        assert report.drifting_names() == ["case:c1/missing"]
+
+    def test_window_grid_mismatch_is_drift(self):
+        cur = _capture()
+        cur.series = dict(cur.series, window=1.0)
+        report = compare(_baseline(_capture()), _baseline(cur))
+        assert "case:c1/series:grid" in report.drifting_names()
+
+    def test_count_jump_drifts(self):
+        cur = _capture()
+        cur.health_counts = {"p99-ceiling": 40, "cancel-storm": 0}
+        report = compare(_baseline(_capture()), _baseline(cur))
+        assert "case:c1/count:health:p99-ceiling" in \
+            report.drifting_names()
+
+    def test_decision_mix_kind_appearing_drifts(self):
+        cur = _capture()
+        cur.decision_mix = dict(cur.decision_mix, adapt=50)
+        report = compare(_baseline(_capture()), _baseline(cur))
+        assert "case:c1/count:decision:adapt" in report.drifting_names()
+
+    def test_scalar_shift_drifts(self):
+        cur = _capture()
+        cur.summary = dict(cur.summary, p99_latency=0.03)
+        report = compare(_baseline(_capture()), _baseline(cur))
+        assert "case:c1/summary:p99_latency" in report.drifting_names()
+
+    def test_digest_mismatch_drifts(self):
+        base = _capture(digest="aaa", series=None)
+        cur = _capture(digest="bbb", series=None)
+        report = compare(_baseline(base), _baseline(cur))
+        assert report.drifting_names() == ["case:c1/digest"]
+
+    def test_digest_match_passes(self):
+        base = _capture(digest="aaa", series=None)
+        cur = _capture(digest="aaa", series=None)
+        assert not compare(_baseline(base), _baseline(cur)).drifted
+
+    def test_small_noise_everywhere_passes(self):
+        cur = _capture()
+        cur.summary = dict(cur.summary, throughput=101.0)
+        cur.decision_mix = dict(cur.decision_mix, detection=102)
+        assert not compare(_baseline(_capture()), _baseline(cur)).drifted
+
+    def test_report_dict_is_jsonable(self):
+        import json
+
+        cur = _capture()
+        cur.summary = dict(cur.summary, p99_latency=0.03)
+        report = compare(_baseline(_capture()), _baseline(cur))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["drifted"] is True
+        assert payload["cases"][0]["name"] == "case:c1"
+
+    def test_verdict_deterministic(self):
+        cur = _capture()
+        cur.series = dict(cur.series, p99=[0.013] * 20)
+        first = compare(_baseline(_capture()), _baseline(cur)).to_dict()
+        second = compare(_baseline(_capture()), _baseline(cur)).to_dict()
+        assert first == second

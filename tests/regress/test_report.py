@@ -1,0 +1,106 @@
+"""Tests for the HTML regress diff report."""
+
+import copy
+
+from repro.regress.baseline import CaseCapture, RegressBaseline
+from repro.regress.compare import compare
+from repro.regress.report import render_diff_report, write_diff_report
+
+
+def _capture(name="case:c1", **over):
+    fields = dict(
+        name=name,
+        spec={"experiment": "regress", "family": "case",
+              "params": {"case_id": "c1"}, "seed": 1},
+        summary={"throughput": 100.0, "p99_latency": 0.02,
+                 "completed": 1000, "cancelled": 5},
+        series={
+            "window": 0.5,
+            "end": [0.5 * (i + 1) for i in range(20)],
+            "slo": 0.02,
+            "throughput": [100.0] * 20,
+            "p99": [0.01] * 20,
+            "goodput": [99.0] * 20,
+            "cancels": [0] * 20,
+        },
+        health_counts={"p99-ceiling": 0},
+        decision_mix={"detection": 100},
+        audit_mix={},
+        digest=None,
+    )
+    fields.update(over)
+    return CaseCapture(**fields)
+
+
+def _render(base_capture, cur_capture):
+    baseline = RegressBaseline(name="base", cases=[base_capture])
+    current = RegressBaseline(name="cur", cases=[cur_capture])
+    report = compare(baseline, current)
+    return report, render_diff_report(report, baseline, current)
+
+
+class TestDiffReport:
+    def test_pass_verdict_rendered(self):
+        _, html_text = _render(_capture(), copy.deepcopy(_capture()))
+        assert "PASS" in html_text
+        assert "verdict-pass" in html_text
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert html_text.count("<svg") == 4  # one panel per series key
+
+    def test_drifting_series_named_up_front(self):
+        cur = _capture()
+        cur.series = dict(cur.series, p99=[0.015] * 20)
+        report, html_text = _render(_capture(), cur)
+        assert report.drifted
+        assert "DRIFT" in html_text
+        assert "series:p99" in html_text
+        assert "title drift" in html_text  # the p99 panel is flagged
+        assert "(drift)" in html_text
+
+    def test_both_series_overlaid(self):
+        cur = _capture()
+        cur.series = dict(cur.series, throughput=[120.0] * 20)
+        _, html_text = _render(_capture(), cur)
+        assert html_text.count('stroke="#8a97a5"') == 4  # baseline grey
+        assert html_text.count('stroke="#2255a4"') == 4  # current blue
+
+    def test_drift_table_marks_rows(self):
+        cur = _capture()
+        cur.summary = dict(cur.summary, p99_latency=0.03)
+        _, html_text = _render(_capture(), cur)
+        assert 'class="drifted"' in html_text
+        assert "summary:p99_latency" in html_text
+
+    def test_missing_case_section(self):
+        baseline = RegressBaseline(name="base", cases=[_capture()])
+        current = RegressBaseline(name="cur", cases=[])
+        report = compare(baseline, current)
+        html_text = render_diff_report(report, baseline, current)
+        assert "no matching capture" in html_text
+
+    def test_digest_only_family_renders(self):
+        base = _capture(series=None, digest="aaa111")
+        cur = _capture(series=None, digest="bbb222")
+        _, html_text = _render(base, cur)
+        assert "digest-compared family" in html_text
+        assert "aaa111" in html_text and "bbb222" in html_text
+
+    def test_render_is_deterministic(self):
+        cur = _capture()
+        cur.series = dict(cur.series, p99=[0.013] * 20)
+        first = _render(_capture(), copy.deepcopy(cur))[1]
+        second = _render(_capture(), copy.deepcopy(cur))[1]
+        assert first == second
+
+    def test_write_diff_report(self, tmp_path):
+        baseline = RegressBaseline(name="base", cases=[_capture()])
+        current = RegressBaseline(
+            name="cur", cases=[copy.deepcopy(_capture())]
+        )
+        report = compare(baseline, current)
+        path = tmp_path / "diff.html"
+        write_diff_report(report, baseline, current, str(path),
+                          title="custom title")
+        text = path.read_text()
+        assert "custom title" in text
+        assert text.endswith("</html>\n")

@@ -66,6 +66,59 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "bogus"])
 
+    def test_regress_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["regress"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["regress", "bogus"])
+
+    def test_regress_baseline_parses(self):
+        args = build_parser().parse_args(
+            ["regress", "baseline", "--out", "b.json", "--name", "nightly",
+             "--targets", "case", "dag", "--cases", "c1", "c2",
+             "--seed", "3", "--jobs", "2"]
+        )
+        assert args.action == "baseline"
+        assert args.out == "b.json"
+        assert args.name == "nightly"
+        assert args.targets == ["case", "dag"]
+        assert args.cases == ["c1", "c2"]
+        assert args.seed == 3
+
+    def test_regress_baseline_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["regress", "baseline", "--targets", "bogus"]
+            )
+
+    def test_regress_check_parses(self):
+        args = build_parser().parse_args(
+            ["regress", "check", "--baseline", "b.json",
+             "--perturb", "slo_slack=0.8", "--rel-tol", "0.1",
+             "--report", "diff.html"]
+        )
+        assert args.action == "check"
+        assert args.baseline == "b.json"
+        assert args.perturb == ["slo_slack=0.8"]
+        assert args.rel_tol == 0.1
+        assert args.report == "diff.html"
+
+    def test_regress_defaults(self):
+        args = build_parser().parse_args(["regress", "check"])
+        assert args.baseline == "REGRESS_BASELINE.json"
+        assert args.perturb is None
+        assert args.rel_tol == 0.05
+        assert build_parser().parse_args(
+            ["regress", "baseline"]
+        ).out == "REGRESS_BASELINE.json"
+
+    def test_regress_schedule_parses(self):
+        args = build_parser().parse_args(
+            ["regress", "schedule", "--case", "case:c1"]
+        )
+        assert args.action == "schedule"
+        assert args.case == "case:c1"
+
     def test_faults_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults"])
@@ -174,6 +227,67 @@ class TestCommands:
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "removed 0" in out
+
+    @pytest.mark.slow
+    def test_regress_baseline_check_report_loop(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(
+            ["regress", "baseline", "--cases", "c1", "--out", baseline,
+             "--cache-dir", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 capture(s)" in out
+        assert "case:c1" in out
+
+        # Unchanged tree: the check replays from cache and passes.
+        assert main(
+            ["regress", "check", "--baseline", baseline,
+             "--cache-dir", cache_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+
+        # A seeded detection-threshold perturbation must be flagged
+        # with exit code 1 and the drifting series named.
+        report_path = str(tmp_path / "diff.html")
+        assert main(
+            ["regress", "check", "--baseline", baseline,
+             "--perturb", "contention_threshold=0.6",
+             "--report", report_path, "--cache-dir", cache_dir]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "verdict: DRIFT" in out
+        assert "case:c1/" in out
+        html_text = open(report_path).read()
+        assert "DRIFT" in html_text
+        for name in out.split("verdict: DRIFT (", 1)[1] \
+                .rsplit(")", 1)[0].split(", "):
+            assert name.split("/", 1)[1] in html_text
+
+        # The report action writes HTML and always exits 0.
+        assert main(
+            ["regress", "report", "--baseline", baseline,
+             "--report", str(tmp_path / "report.html"),
+             "--cache-dir", cache_dir]
+        ) == 0
+        assert "PASS" in open(tmp_path / "report.html").read()
+
+    def test_regress_check_missing_baseline_exits_2(self, capsys):
+        assert main(
+            ["regress", "check", "--baseline", "/no/such/file.json"]
+        ) == 2
+
+    def test_regress_schedule_empty_history(self, tmp_path, capsys):
+        from repro.regress.baseline import RegressBaseline
+
+        baseline = tmp_path / "b.json"
+        RegressBaseline(name="empty").write(str(baseline))
+        assert main(
+            ["regress", "schedule", "--baseline", str(baseline)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "{}"
 
     def test_faults_list(self, capsys):
         assert main(["faults", "list"]) == 0

@@ -136,3 +136,32 @@ class TestRepoDocs:
             assert (REPO_ROOT / name).exists(), name
         performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
         assert "BENCH_7.json" in performance
+
+    def test_regress_baseline_anchor_checked_in_and_documented(self):
+        anchor = REPO_ROOT / "REGRESS_BASELINE.json"
+        assert anchor.exists()
+        import json
+
+        payload = json.loads(anchor.read_text())
+        assert payload["schema"] == 1
+        assert len(payload["cases"]) >= 2
+        files = checker.collect_markdown(checker.DEFAULT_TARGETS)
+        assert checker.check_anchors(files) == []
+
+    def test_missing_anchor_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# T\n\nnothing relevant here\n")
+        errors = checker.check_anchors(
+            [doc], anchors=["REGRESS_BASELINE.json"]
+        )
+        assert len(errors) == 1
+        assert "not referenced" in errors[0]
+
+    def test_nonexistent_anchor_file_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# T\n\nsee NO_SUCH_ANCHOR.json\n")
+        errors = checker.check_anchors(
+            [doc], anchors=["NO_SUCH_ANCHOR.json"]
+        )
+        assert len(errors) == 1
+        assert "missing from the repo root" in errors[0]

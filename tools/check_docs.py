@@ -39,6 +39,13 @@ DEFAULT_TARGETS = [
     "docs",
 ]
 
+#: Checked-in data anchors: each must exist at the repo root AND be
+#: referenced somewhere in the default documentation set (an anchor
+#: nobody documents is an anchor nobody regenerates correctly).
+REQUIRED_ANCHORS = [
+    "REGRESS_BASELINE.json",
+]
+
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
 #: Setext underline: a line of = or - under a paragraph line.
@@ -187,9 +194,32 @@ def check(paths: List[str]) -> List[str]:
     return errors
 
 
+def check_anchors(
+    files: List[Path], anchors: List[str] = None
+) -> List[str]:
+    """Verify the required data anchors exist and are documented."""
+    errors: List[str] = []
+    texts = [path.read_text(encoding="utf-8") for path in files]
+    for anchor in REQUIRED_ANCHORS if anchors is None else anchors:
+        if not (REPO_ROOT / anchor).exists():
+            errors.append(
+                f"required anchor {anchor} is missing from the repo root"
+            )
+        if not any(anchor in text for text in texts):
+            errors.append(
+                f"required anchor {anchor} is not referenced by any "
+                "checked document"
+            )
+    return errors
+
+
 def main(argv: List[str]) -> int:
     targets = argv or DEFAULT_TARGETS
     errors = check(targets)
+    if not argv:
+        # Anchor integrity is a repo-level property; skip it when the
+        # caller asked to lint specific files.
+        errors += check_anchors(collect_markdown(targets))
     for error in errors:
         print(error, file=sys.stderr)
     checked = len(collect_markdown(targets))
