@@ -8,6 +8,7 @@ Usage::
     python -m repro run fig9 --adaptive
     python -m repro all [--full] [--output FILE] [--jobs N] [--telemetry DIR]
     python -m repro ablate-adaptive [--full] [--seed N] [--cases c1 c2]
+    python -m repro ablate --levers [--full] [--seed N] [--cases c1 c17]
     python -m repro sweep fig10 --seeds 0 1 2 [--jobs N]
     python -m repro case c5 [--system atropos] [--seed N]
     python -m repro trace fig3 --out trace.json [--util util.csv]
@@ -21,7 +22,8 @@ Usage::
     python -m repro faults list
     python -m repro faults run --plan lossy-initiator [--case c1] [--system atropos]
     python -m repro faults matrix [--full] [--jobs N]
-    python -m repro regress baseline [--out FILE] [--targets case dag cluster]
+    python -m repro regress baseline [--out FILE] [--targets case dag cluster lever]
+    python -m repro regress baseline --telemetry [--scrape-interval S]
     python -m repro regress check [--baseline FILE] [--perturb K=V] [--report FILE]
     python -m repro regress report [--baseline FILE]
     python -m repro regress schedule [--case case:c1]
@@ -435,6 +437,22 @@ def cmd_ablate_adaptive(args) -> int:
     return 0
 
 
+def cmd_ablate(args) -> int:
+    if args.levers:
+        from .experiments.ablate_levers import run as run_ablation
+    else:
+        # Default dimension: the threshold-policy ablation.
+        from .experiments.ablate_adaptive import run as run_ablation
+
+    with _campaign_settings(args):
+        result = run_ablation(
+            quick=not args.full, seed=args.seed, case_ids=args.cases
+        )
+    print(result.format())
+    _print_campaign_stats()
+    return 0
+
+
 def cmd_bench(args) -> int:
     import json
 
@@ -575,23 +593,41 @@ def cmd_regress(args) -> int:
 
     if args.action == "baseline":
         from . import __version__
-        from .experiments.regressable import REGRESS_CASES, regress_entries
+        from .experiments.regressable import (
+            REGRESS_CASES,
+            REGRESS_TARGETS,
+            regress_entries,
+        )
 
+        unknown = [t for t in args.targets if t not in REGRESS_TARGETS]
+        if unknown:
+            print(
+                "unknown regress target(s): {}; known targets: {}".format(
+                    ", ".join(sorted(unknown)), ", ".join(REGRESS_TARGETS)
+                ),
+                file=sys.stderr,
+            )
+            return 2
         cases = list(args.cases or REGRESS_CASES)
         entries = regress_entries(
             targets=args.targets, cases=cases, seed=args.seed
         )
+        meta = {
+            "seed": args.seed,
+            "targets": list(args.targets),
+            "cases": cases,
+            "repro_version": __version__,
+        }
+        if args.telemetry:
+            meta["telemetry_interval"] = args.scrape_interval
         with _campaign_settings(args):
             baseline = capture(
                 args.name,
                 entries,
                 jobs=args.jobs,
-                meta={
-                    "seed": args.seed,
-                    "targets": list(args.targets),
-                    "cases": cases,
-                    "repro_version": __version__,
-                },
+                meta=meta,
+                telemetry=args.telemetry,
+                scrape_interval=args.scrape_interval,
             )
         baseline.write(args.out)
         _print_campaign_stats()
@@ -725,6 +761,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_flags(p_adapt)
     p_adapt.set_defaults(func=cmd_ablate_adaptive)
+
+    p_ablate = sub.add_parser(
+        "ablate",
+        help="ablation sweeps (--levers: cancel vs lock-reshape vs "
+        "composite; default: fixed vs adaptive thresholds)",
+    )
+    p_ablate.add_argument(
+        "--levers", action="store_true",
+        help="contrast mitigation levers (cancel / lock_reshape / "
+        "composite) across the case families",
+    )
+    p_ablate.add_argument("--full", action="store_true",
+                          help="all cases instead of the quick subset")
+    p_ablate.add_argument("--seed", type=int, default=0)
+    p_ablate.add_argument(
+        "--cases", nargs="+", default=None, metavar="CID",
+        help="restrict to these case ids",
+    )
+    _add_campaign_flags(p_ablate)
+    p_ablate.set_defaults(func=cmd_ablate)
 
     p_sweep = sub.add_parser(
         "sweep", help="run one experiment across several seeds"
@@ -1004,15 +1060,25 @@ def build_parser() -> argparse.ArgumentParser:
         "'standard')",
     )
     r_base.add_argument(
-        "--targets", nargs="+", default=["case"],
-        choices=["case", "dag", "cluster"],
-        help="regressable families to capture (default: case)",
+        "--targets", nargs="+", default=["case"], metavar="TARGET",
+        help="regressable families to capture (default: case; known "
+        "targets come from repro.experiments.regressable)",
     )
     r_base.add_argument(
         "--cases", nargs="+", default=None, metavar="ID",
         help="case ids for the case target (default: the standard six)",
     )
     r_base.add_argument("--seed", type=int, default=1)
+    r_base.add_argument(
+        "--telemetry", action="store_true",
+        help="scrape each capture and snapshot condensed window "
+        "summaries into the baseline (serial, cache reads bypassed)",
+    )
+    r_base.add_argument(
+        "--scrape-interval", type=float, default=0.25, metavar="S",
+        help="simulated seconds between scrapes for --telemetry "
+        "(default 0.25)",
+    )
     _add_campaign_flags(r_base)
     r_base.set_defaults(func=cmd_regress)
 

@@ -4,6 +4,7 @@ from .apache import Apache, ApacheConfig
 from .base import Application, Operation
 from .elasticsearch import Elasticsearch, ElasticsearchConfig
 from .etcd import Etcd, EtcdConfig
+from .mongodb import MongoDB, MongoDBConfig
 from .mysql import MySQL, MySQLConfig
 from .postgres import PostgreSQL, PostgresConfig
 from .solr import Solr, SolrConfig
@@ -16,6 +17,8 @@ __all__ = [
     "ElasticsearchConfig",
     "Etcd",
     "EtcdConfig",
+    "MongoDB",
+    "MongoDBConfig",
     "MySQL",
     "MySQLConfig",
     "Operation",

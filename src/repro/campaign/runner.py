@@ -173,6 +173,9 @@ def _execute_one(spec: RunSpec, label: Optional[str] = None) -> Dict[str, Any]:
         # The adaptive flag lives on the spec (cache identity), not in
         # the stored params; builders see it as a transient param.
         params["adaptive"] = True
+    if spec.lever:
+        # Same transient-param pattern for the mitigation lever.
+        params["lever"] = spec.lever
     build = resolve_sim(spec.family)(params)
     duration = spec.duration if spec.duration is not None else build.duration
     warmup = spec.warmup if spec.warmup is not None else build.warmup

@@ -42,7 +42,10 @@ from ..sim.metrics import Summary
 #: ``decision_mix`` / ``audit_mix`` digests (the ``repro regress``
 #: observability surface), and the ``cluster`` family joined the
 #: registry (FleetResult payloads in extras).
-CACHE_SCHEMA = 6
+#: 7: RunSpec grew the ``lever`` identity field (mitigation levers,
+#: :mod:`repro.core.levers`); audits carry a ``lever`` tag and the
+#: ``mongodb`` app family joined the case registry (c17/c18).
+CACHE_SCHEMA = 7
 
 #: Modules whose import populates the sim-builder registry.  Worker
 #: processes (and cold parents) import these before resolving families;
@@ -124,6 +127,11 @@ class RunSpec:
             thresholds (``AtroposConfig.adaptive_thresholds``).  Part of
             the cache identity: fixed and adaptive twins of the same
             case must never share a cache entry.
+        lever: mitigation lever for the controller
+            (``AtroposConfig.lever``; :mod:`repro.core.levers`).  None
+            means the family default (targeted cancellation).  Part of
+            the cache identity: cancel / lock-reshape / composite twins
+            of the same case must never share a cache entry.
     """
 
     experiment: str
@@ -134,6 +142,7 @@ class RunSpec:
     warmup: Optional[float] = None
     faults: Optional[Dict[str, Any]] = None
     adaptive: bool = False
+    lever: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _canonical_params(self.params))
@@ -155,6 +164,7 @@ class RunSpec:
             "warmup": self.warmup,
             "faults": self.faults,
             "adaptive": self.adaptive,
+            "lever": self.lever,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -171,6 +181,7 @@ class RunSpec:
             warmup=data.get("warmup"),
             faults=data.get("faults"),
             adaptive=data.get("adaptive", False),
+            lever=data.get("lever"),
         )
 
     def cache_key(self) -> str:

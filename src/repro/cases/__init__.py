@@ -1,20 +1,31 @@
-"""The 16 reproduced real-world overload cases of Table 2.
+"""The 16 reproduced overload cases of Table 2, plus extension cases.
 
 Importing this package registers every case; use :func:`get_case` /
-:func:`all_cases` to build them.
+:func:`all_cases` to build them.  :func:`paper_case_ids` is the Table 2
+set the paper figures sweep; extension cases (c17+, flagged
+``extension=True``) ride the same registry and dynamics gates.
 """
 
-from .base import CaseSpec, all_case_ids, all_cases, get_case, register_case
+from .base import (
+    CaseSpec,
+    all_case_ids,
+    all_cases,
+    get_case,
+    paper_case_ids,
+    register_case,
+)
 
 # Importing the modules registers the cases.
 from . import mysql_cases  # noqa: F401  (registration side effect)
 from . import postgres_cases  # noqa: F401
 from . import web_search_cases  # noqa: F401
+from . import mongodb_cases  # noqa: F401
 
 __all__ = [
     "CaseSpec",
     "all_case_ids",
     "all_cases",
     "get_case",
+    "paper_case_ids",
     "register_case",
 ]

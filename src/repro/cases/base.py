@@ -45,6 +45,11 @@ class CaseSpec:
     #: Per-case AtroposConfig overrides (e.g. c9 enables the thread-level
     #: cancellation flag for PHP scripts, §5.2).
     atropos_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Post-paper extension case (not part of Table 2).  Extension cases
+    #: run through the same dynamics gates but are excluded from the
+    #: paper-figure sweeps (:func:`paper_case_ids`), which are pinned to
+    #: the 16 reproduced cases.
+    extension: bool = False
 
     def run(
         self,
@@ -99,8 +104,18 @@ def get_case(case_id: str) -> CaseSpec:
     return builder()
 
 def all_case_ids() -> List[str]:
-    """All registered case ids in numeric order (c1..c16)."""
+    """All registered case ids in numeric order (paper + extensions)."""
     return sorted(_REGISTRY, key=lambda c: int(c.lstrip("c")))
+
+
+def paper_case_ids() -> List[str]:
+    """The Table 2 case ids (c1..c16), excluding extension cases.
+
+    The paper-figure experiments (fig9/fig10/fig13, table2) sweep this
+    set so their outputs stay pinned to the reproduced paper even as
+    the registry grows extension cases.
+    """
+    return [cid for cid in all_case_ids() if not get_case(cid).extension]
 
 
 def all_cases() -> List[CaseSpec]:

@@ -30,6 +30,14 @@ from .estimator import (
     TaskReport,
 )
 from .ledger import UsageLedger, UsageStats
+from .levers import (
+    LEVERS,
+    CancelLever,
+    CompositeLever,
+    LockScheduleLever,
+    MitigationLever,
+    resolve_lever,
+)
 from .pipeline import (
     ActionPolicy,
     AdaptationPolicy,
@@ -74,11 +82,13 @@ __all__ = [
     "BaseController",
     "CallbackProgress",
     "CancelSignal",
+    "CancelLever",
     "CancellableTask",
     "CancellationAction",
     "CancellationEvent",
     "CancellationManager",
     "CancellationPolicy",
+    "CompositeLever",
     "ControlPipeline",
     "CurrentUsagePolicy",
     "DecisionEvent",
@@ -91,8 +101,11 @@ __all__ = [
     "GetNextProgress",
     "GreedyHeuristicPolicy",
     "HealthSignalSource",
+    "LEVERS",
     "LatencyWindowSource",
     "LiveThresholds",
+    "LockScheduleLever",
+    "MitigationLever",
     "MultiObjectivePolicy",
     "NoAdaptation",
     "NullController",
@@ -114,6 +127,7 @@ __all__ = [
     "clamp_progress",
     "default_initiator",
     "dominates",
+    "resolve_lever",
     "future_gain_multiplier",
     "non_dominated_set",
 ]

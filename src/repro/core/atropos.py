@@ -10,10 +10,15 @@ The periodic control loop itself is a
 :class:`DetectorSignalSource` produces the window's detector signals
 (plus, in adaptive mode, a health source consuming them), an
 :class:`~repro.core.pipeline.AdaptationPolicy` may move the live
-detector thresholds between windows, and a :class:`CancellationAction`
-carries the blame -> select -> cancel decision (§3.3-§3.5) with its
-audit trail.  The controller class holds the state and the integration
-surface; the pipeline stages hold the loop.
+detector thresholds between windows, and a **mitigation lever**
+(:mod:`repro.core.levers`) carries the blame -> select -> mitigate
+decision (§3.3-§3.5) with its audit trail.  The default
+:class:`~repro.core.levers.CancelLever` (historically named
+``CancellationAction``; the alias is kept) reproduces the paper's
+targeted cancellation byte-for-byte; ``AtroposConfig.lever`` swaps in
+lock-queue reshaping or the audited composite.  The controller class
+holds the state and the integration surface; the pipeline stages hold
+the loop.
 """
 
 from __future__ import annotations
@@ -23,18 +28,11 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 from .cancellation import CancellationManager
 from .config import AtroposConfig
 from .controller import BaseController
-from .decision_log import (
-    CandidateEvidence,
-    DecisionAudit,
-    DecisionKind,
-    DecisionLog,
-    DetectorSignal,
-    ResourceEvidence,
-)
+from .decision_log import DecisionKind, DecisionLog
 from .detector import OverloadDetector
 from .estimator import Estimator, OverloadAssessment
+from .levers import CancelLever, resolve_lever
 from .pipeline import (
-    ActionPolicy,
     ControlPipeline,
     NoAdaptation,
     SignalSource,
@@ -43,6 +41,9 @@ from .policy import CancellationPolicy, MultiObjectivePolicy
 from .runtime import RuntimeManager
 from .task import CancellableTask, CancelInitiator
 from .types import ResourceHandle
+
+#: Backward-compatible alias: the historical action-stage class name.
+CancellationAction = CancelLever
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
@@ -92,216 +93,6 @@ class DetectorSignalSource(SignalSource):
         return self.controller.detector.telemetry_snapshot()
 
 
-class CancellationAction(ActionPolicy):
-    """The per-window decision: classify, pick a culprit, cancel (§3.3-3.5).
-
-    Mutates the owning controller's counters and decision log so the
-    controller's public diagnostics (``regular_overloads``,
-    ``last_assessment``, ``cancels_issued``, ``explain()``) keep their
-    historical meaning.
-    """
-
-    name = "cancellation"
-
-    def __init__(self, controller: "Atropos") -> None:
-        self.controller = controller
-
-    def act(self, now: float, signals: Dict[str, Any]) -> None:
-        if signals.get("potential_overload"):
-            self._handle_potential_overload(
-                signals.get("oldest_inflight_age", 0.0)
-            )
-        else:
-            self.controller._regular_overload_active = False
-
-    def _handle_potential_overload(self, oldest_age: float = 0.0) -> None:
-        c = self.controller
-        now = c.env.now
-        sample = c.detector.history[-1] if c.detector.history else None
-        c.decision_log.record(
-            now,
-            DecisionKind.DETECTION,
-            "potential overload",
-            tail_p99=round(sample.tail_latency, 4) if sample else None,
-            throughput=round(sample.throughput, 1) if sample else None,
-        )
-        assessment = c.estimator.assess(
-            resources=list(c.resources.values()),
-            tasks=c.live_tasks(),
-            use_future_gain=c.policy.uses_future_gain,
-        )
-        c.last_assessment = assessment
-        audit = self._start_audit(now, sample, oldest_age, assessment)
-        hottest = assessment.most_contended()
-        if not assessment.is_resource_overload:
-            # Regular (demand) overload: out of scope for cancellation;
-            # delegated to the conventional fallback controller (§3.3).
-            c.regular_overloads += 1
-            c._regular_overload_active = True
-            c.decision_log.record(
-                now,
-                DecisionKind.CLASSIFICATION,
-                "regular (demand) overload -> fallback",
-                hottest=str(hottest.resource) if hottest else None,
-                contention=round(hottest.contention_norm, 3)
-                if hottest
-                else None,
-            )
-            audit.verdict = "regular-overload"
-            self._finish_audit(audit)
-            return
-        c._regular_overload_active = False
-        culprit_resource = next(
-            (r for r in assessment.resources if r.overloaded and r.concentrated),
-            hottest,
-        )
-        audit.culprit_resource = (
-            culprit_resource.resource.name if culprit_resource else None
-        )
-        c.decision_log.record(
-            now,
-            DecisionKind.CLASSIFICATION,
-            "resource overload",
-            resource=str(culprit_resource.resource),
-            contention=round(culprit_resource.contention_norm, 3),
-            gain_skew=round(culprit_resource.gain_skew, 1)
-            if culprit_resource.gain_skew != float("inf")
-            else "inf",
-        )
-        selection = c.policy.select(assessment)
-        if selection is None:
-            c.decision_log.record(
-                now, DecisionKind.CANCEL_BLOCKED, "no cancellable candidate"
-            )
-            audit.verdict = "no-candidate"
-            self._finish_audit(audit)
-            return
-        task, score = selection
-        for candidate in audit.candidates:
-            if candidate.task_key == task.key:
-                candidate.selected = True
-                candidate.score = score
-        cancelled = c.cancellation.cancel(
-            task,
-            resource=hottest.resource if hottest else None,
-            score=score,
-        )
-        if cancelled:
-            c.cancels_issued += 1
-            c.decision_log.record(
-                now,
-                DecisionKind.CANCELLATION,
-                f"cancelled {task.op_name!r}",
-                key=task.key,
-                score=round(score, 2),
-                progress=round(task.progress(), 2),
-            )
-            audit.verdict = "cancelled"
-            audit.cancelled_task_key = task.key
-            audit.cancelled_op_name = task.op_name
-        else:
-            c.decision_log.record(
-                now,
-                DecisionKind.CANCEL_BLOCKED,
-                f"cancel of {task.op_name!r} blocked",
-                in_cooldown=c.cancellation.in_cooldown,
-            )
-            audit.verdict = "cancel-blocked"
-            audit.blocked_reason = (
-                "cooldown" if c.cancellation.in_cooldown else "task-state"
-            )
-        self._finish_audit(audit)
-
-    # ------------------------------------------------------------------
-    # Decision-audit trail
-    # ------------------------------------------------------------------
-    def _start_audit(
-        self, now: float, sample, oldest_age: float, assessment
-    ) -> DecisionAudit:
-        """Snapshot the evidence behind this detection cycle."""
-        c = self.controller
-        weights = {
-            r.resource: r.contention_norm for r in assessment.resources
-        }
-        candidates = []
-        for report in assessment.tasks:
-            task = report.task
-            gains = {
-                resource.name: gain
-                for resource, gain in sorted(
-                    report.gains.items(), key=lambda item: item[0].name
-                )
-            }
-            # The contention-weighted scalarization every policy's ranking
-            # evidence is reported in (§3.5), whether or not the active
-            # policy ultimately used it.
-            score = sum(
-                weights.get(resource, 0.0) * gain
-                for resource, gain in report.gains.items()
-            )
-            candidates.append(
-                CandidateEvidence(
-                    task_key=task.key,
-                    op_name=task.op_name,
-                    client_id=task.client_id,
-                    kind=task.kind.value,
-                    age=round(task.age, 6),
-                    progress=round(report.progress, 6),
-                    cancellable=task.cancellable,
-                    gains={k: round(v, 9) for k, v in gains.items()},
-                    score=round(score, 9),
-                )
-            )
-        candidates.sort(key=lambda c: (-(c.score or 0.0), str(c.task_key)))
-        return DecisionAudit(
-            time=now,
-            detector=DetectorSignal(
-                tail_latency=sample.tail_latency if sample else None,
-                throughput=sample.throughput if sample else None,
-                samples=sample.samples if sample else None,
-                oldest_inflight_age=oldest_age,
-            ),
-            resources=[
-                ResourceEvidence(
-                    resource=r.resource.name,
-                    rtype=r.resource.rtype.value,
-                    contention_raw=round(r.contention_raw, 9),
-                    contention_norm=round(r.contention_norm, 9),
-                    threshold=c.config.threshold_for(r.resource.name),
-                    overloaded=r.overloaded,
-                    concentrated=r.concentrated,
-                    gain_skew=r.gain_skew
-                    if r.gain_skew != float("inf")
-                    else -1.0,
-                )
-                for r in assessment.resources
-            ],
-            candidates=candidates,
-            verdict="pending",
-        )
-
-    def _finish_audit(self, audit: DecisionAudit) -> None:
-        """Record the audit and mirror it into the run's tracer."""
-        c = self.controller
-        c.decision_log.record_audit(audit)
-        tracer = c.env.tracer
-        if tracer.enabled:
-            payload = audit.to_payload()
-            tracer.audit(payload)
-            tracer.instant(
-                audit.time,
-                "decision",
-                f"{audit.verdict}"
-                + (
-                    f" {audit.cancelled_op_name}#{audit.cancelled_task_key}"
-                    if audit.verdict == "cancelled"
-                    else ""
-                ),
-                "atropos:decisions",
-                audit=payload,
-            )
-
-
 class Atropos(BaseController):
     """Targeted-task-cancellation overload controller."""
 
@@ -345,6 +136,8 @@ class Atropos(BaseController):
         #: True while the current detection window is classified as
         #: regular (demand) overload; routes admission to the fallback.
         self._regular_overload_active = False
+        #: The active mitigation lever (the pipeline's action stage).
+        self.lever = resolve_lever(self.config.lever)(self)
         #: The control pipeline (sample -> adapt -> act -> roll).
         self.adaptation = self._build_adaptation()
         self.pipeline = ControlPipeline(
@@ -352,8 +145,12 @@ class Atropos(BaseController):
             period=self.config.detection_period,
             sources=self._build_sources(),
             adaptation=self.adaptation,
-            action=CancellationAction(self),
+            action=self.lever,
         )
+
+    def bind(self, app) -> None:
+        """Let the lever discover app resources (locks) at bind time."""
+        self.pipeline.bind(app)
 
     def _build_adaptation(self):
         if not self.config.adaptive_thresholds:
@@ -443,6 +240,7 @@ class Atropos(BaseController):
         snap = super().telemetry_snapshot()
         snap["detector"] = self.detector.telemetry_snapshot()
         snap["signals"] = self.cancellation.telemetry_snapshot()
+        snap["lever"] = self.lever.telemetry_snapshot()
         if self.last_assessment is not None:
             snap["blame"] = self.last_assessment.blame_scores()
         return snap

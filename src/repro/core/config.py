@@ -95,6 +95,14 @@ class AtroposConfig:
     #: experiment, which measures tracing + decision cost in isolation).
     cancellation_enabled: bool = True
 
+    #: Mitigation lever applied on a resource-overload verdict
+    #: (:mod:`repro.core.levers`): ``"cancel"`` (targeted task
+    #: cancellation -- the paper's action and the default, byte-identical
+    #: to the pre-lever controller), ``"lock_reshape"`` (Malthusian
+    #: lock-queue passivation; no work lost), or ``"composite"``
+    #: (audited per-decision choice between the two).
+    lever: str = "cancel"
+
     #: Per-resource overrides of the contention threshold.
     contention_threshold_overrides: Dict[str, float] = field(
         default_factory=dict
@@ -210,6 +218,13 @@ class AtroposConfig:
                     f"contention_threshold_overrides[{resource!r}] must be "
                     f"> 0 (got {value!r})"
                 )
+        from .levers import LEVER_NAMES
+
+        if self.lever not in LEVER_NAMES:
+            problems.append(
+                f"lever must be one of {', '.join(LEVER_NAMES)} "
+                f"(got {self.lever!r})"
+            )
         if self.history_schedule and not self.adaptive_thresholds:
             problems.append(
                 "history_schedule requires adaptive_thresholds=True "

@@ -47,6 +47,11 @@ class DecisionKind(enum.Enum):
     #: live detector threshold (window widened on flapping, tail trigger
     #: tightened after sustained p99 violations, or a recovery step).
     ADAPT = "adapt"
+    #: A mitigation lever acted (or chose between mitigations): lock
+    #: waiters parked/reactivated by the
+    #: :class:`~repro.core.levers.LockScheduleLever`, or a
+    #: :class:`~repro.core.levers.CompositeLever` per-decision choice.
+    LEVER = "lever"
 
 
 @dataclass
@@ -116,7 +121,9 @@ class DecisionAudit:
     """Full evidence chain for one detector trigger -> verdict cycle.
 
     ``verdict`` is one of ``"cancelled"``, ``"cancel-blocked"``,
-    ``"no-candidate"``, or ``"regular-overload"``.
+    ``"no-candidate"``, ``"regular-overload"``, or -- under a
+    non-default mitigation lever (:mod:`repro.core.levers`) --
+    ``"lock-reshaped"`` / ``"lever-noop"``.
     """
 
     time: float
@@ -124,6 +131,9 @@ class DecisionAudit:
     resources: List[ResourceEvidence]
     candidates: List[CandidateEvidence]
     verdict: str
+    #: Mitigation lever that produced the verdict (None on the default
+    #: cancel path, keeping historical payloads' ``lever`` absent-as-None).
+    lever: Optional[str] = None
     #: Name of the contended resource the verdict names (None when the
     #: window was classified as regular overload with no clear culprit).
     culprit_resource: Optional[str] = None

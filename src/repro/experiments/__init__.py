@@ -20,11 +20,14 @@ table3    integration effort
 Beyond the paper's artifacts, ``resilience`` runs the chaos matrix
 (fault kind x intensity via :mod:`repro.faults`), ``ablate-adaptive``
 compares fixed vs health-driven adaptive thresholds
-(:mod:`repro.core.adaptive`), and ``cluster`` compares local-only vs
+(:mod:`repro.core.adaptive`), ``ablate-levers`` contrasts the
+mitigation levers (cancel vs lock-reshape vs composite,
+:mod:`repro.core.levers`), and ``cluster`` compares local-only vs
 coordinated cross-node culprit attribution on a simulated fleet
-(:mod:`repro.cluster`).  All three are opt-in -- ``repro faults
-matrix`` / ``repro ablate-adaptive`` / ``repro cluster`` or ``repro run
-<id>`` -- and not part of the default ``repro run`` order.
+(:mod:`repro.cluster`).  All are opt-in -- ``repro faults matrix`` /
+``repro ablate-adaptive`` / ``repro ablate --levers`` / ``repro
+cluster`` or ``repro run <id>`` -- and not part of the default ``repro
+run`` order.
 """
 
 from importlib import import_module
@@ -50,6 +53,7 @@ _EXPERIMENT_RUNNERS = {
     "table3": ("table_experiments", "run_table3"),
     "resilience": ("resilience", "run"),
     "ablate-adaptive": ("ablate_adaptive", "run"),
+    "ablate-levers": ("ablate_levers", "run"),
     "cluster": ("cluster_attribution", "run"),
     "dag": ("dag_overload", "run"),
 }

@@ -1,0 +1,132 @@
+"""Cancel vs lock-reshape vs composite levers across case families.
+
+Not a paper figure: the head-to-head the mitigation-lever refactor
+exists to ask -- *when does reshaping the lock queue beat killing the
+task?* (ROADMAP open question; Malthusian Locks, arXiv 1511.06035).
+For every case the sweep runs the non-overloaded baseline and ATROPOS
+once per lever, and reports:
+
+* normalized victim p99 under each lever;
+* the action mix each lever produced (cancellations, parked waiters,
+  lever no-ops) from the decision audit;
+* the *regime verdict*: cases where lock-reshape beats cancellation on
+  victim p99 without goodput loss (throughput within 1% of cancel's).
+
+The quick set pairs the MySQL lock cases with the MongoDB extension
+cases so both habitats show up: c17's chunk-wise scan storm is parkable
+(reshape wins without losing the scans' work), while c18's memory flood
+gives the lock lever nothing to park (cancel wins, reshape no-ops).
+Lever runs never share cache entries (``RunSpec.lever`` is part of the
+cache identity); the shared baseline does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..campaign import execute
+from .case_family import case_spec
+from .tables import ExperimentResult, ExperimentTable
+
+#: The levers contrasted, in report order.
+LEVERS = ("cancel", "lock_reshape", "composite")
+
+#: Quick-mode subset: MySQL lock convoys (c1 table lock, c4 SELECT FOR
+#: UPDATE) plus both MongoDB extension cases (c17 lock, c18 memory).
+QUICK_CASES = ["c1", "c4", "c17", "c18"]
+
+#: Throughput tolerance for "without goodput loss" (relative to cancel).
+GOODPUT_TOLERANCE = 0.01
+
+
+def _all_case_ids() -> List[str]:
+    from ..cases import all_case_ids
+
+    return list(all_case_ids())
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    case_ids: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Run the mitigation-lever ablation."""
+    if case_ids is None:
+        case_ids = list(QUICK_CASES) if quick else _all_case_ids()
+    specs = []
+    for cid in case_ids:
+        specs.append(case_spec("ablate-levers", cid, seed,
+                               include_culprit=False))
+        for lever in LEVERS:
+            specs.append(
+                case_spec(
+                    "ablate-levers", cid, seed,
+                    atropos_overrides={}, lever=lever,
+                )
+            )
+    p99 = ExperimentTable(
+        "Mitigation levers: normalized victim p99",
+        ["case"] + list(LEVERS),
+    )
+    actions = ExperimentTable(
+        "Mitigation levers: action mix (cancelled / parked per lever)",
+        ["case"] + [f"{lever}" for lever in LEVERS],
+    )
+    verdict = ExperimentTable(
+        "Regimes where lock-reshape beats cancel "
+        "(p99 lower, goodput within 1%)",
+        ["case", "reshape/cancel p99", "goodput ratio", "reshape wins"],
+    )
+    outcomes = iter(execute(specs))
+    reshape_wins = []
+    for cid in case_ids:
+        baseline = next(outcomes)
+        by_lever = {lever: next(outcomes) for lever in LEVERS}
+        p99.add_row(
+            cid,
+            *(
+                by_lever[lever].p99_latency / baseline.p99_latency
+                for lever in LEVERS
+            ),
+        )
+        actions.add_row(
+            cid,
+            *(
+                "{}c/{}p".format(
+                    by_lever[lever].cancels,
+                    by_lever[lever].extras.get("audit_mix", {}).get(
+                        "lock-reshaped", 0
+                    ),
+                )
+                for lever in LEVERS
+            ),
+        )
+        cancel = by_lever["cancel"]
+        reshape = by_lever["lock_reshape"]
+        p99_ratio = reshape.p99_latency / cancel.p99_latency
+        goodput_ratio = (
+            reshape.throughput / cancel.throughput
+            if cancel.throughput
+            else float("nan")
+        )
+        wins = p99_ratio < 1.0 and goodput_ratio >= 1.0 - GOODPUT_TOLERANCE
+        if wins:
+            reshape_wins.append(cid)
+        verdict.add_row(cid, p99_ratio, goodput_ratio, "yes" if wins else "no")
+    if reshape_wins:
+        summary = (
+            "lock-reshape beats cancel on victim p99 without goodput "
+            "loss in: " + ", ".join(reshape_wins)
+        )
+    else:
+        summary = (
+            "no regime in this sweep favored lock-reshape over cancel"
+        )
+    return ExperimentResult(
+        experiment_id="ablate-levers",
+        description=(
+            "Cancel vs lock-reshape vs composite mitigation levers "
+            f"({summary})"
+        ),
+        tables=[p99, actions, verdict],
+    )

@@ -30,6 +30,12 @@ Recognized params (all JSON-able):
     the ATROPOS variants with health-driven adaptive thresholds
     (``AtroposConfig.adaptive_thresholds=True``).  Ignored by
     non-ATROPOS systems and uncontrolled runs.
+``lever``
+    Transient param injected by the campaign runner when
+    ``RunSpec.lever`` is set (never stored in spec params): selects the
+    mitigation lever (:mod:`repro.core.levers`) for the ATROPOS
+    variants (``AtroposConfig.lever``).  Ignored by non-ATROPOS systems
+    and uncontrolled runs.
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ def build_case(params: Dict[str, Any]) -> SimBuild:
     policy_id = params.get("policy")
     slo_latency = params.get("slo_latency", case.slo_latency)
     adaptive = bool(params.get("adaptive", False))
+    lever = params.get("lever")
 
     factory = None
     if policy_id is not None or "atropos_overrides" in params:
@@ -77,6 +84,8 @@ def build_case(params: Dict[str, Any]) -> SimBuild:
         merged.update(params.get("atropos_overrides") or {})
         if adaptive:
             merged["adaptive_thresholds"] = True
+        if lever:
+            merged["lever"] = lever
         policy_cls = _policy_class(policy_id) if policy_id else None
 
         def factory(env):
@@ -93,6 +102,8 @@ def build_case(params: Dict[str, Any]) -> SimBuild:
         overrides = dict(case.atropos_overrides)
         if adaptive and system == "atropos":
             overrides["adaptive_thresholds"] = True
+        if lever and system == "atropos":
+            overrides["lever"] = lever
         factory = controller_factory(
             system, slo_latency, atropos_overrides=overrides
         )
@@ -115,6 +126,7 @@ def case_spec(
     seed: int = 0,
     faults=None,
     adaptive: bool = False,
+    lever: str = None,
     **params,
 ) -> "RunSpec":
     """Convenience constructor for ``case`` RunSpecs.
@@ -124,7 +136,8 @@ def case_spec(
     ``faults`` may be a :class:`repro.faults.FaultPlan` or its
     ``to_dict()`` payload; empty plans are treated as no faults.
     ``adaptive`` turns on health-driven adaptive thresholds for the
-    ATROPOS variants (a RunSpec identity field, not a stored param).
+    ATROPOS variants (a RunSpec identity field, not a stored param);
+    ``lever`` selects their mitigation lever the same way.
     """
     from ..campaign.spec import RunSpec
 
@@ -146,4 +159,5 @@ def case_spec(
         seed=seed,
         faults=faults,
         adaptive=adaptive,
+        lever=lever,
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..campaign import execute
-from ..cases import all_case_ids
+from ..cases import paper_case_ids
 from .case_family import case_spec
 from .harness import normalize
 from .tables import ExperimentResult, ExperimentTable
@@ -23,7 +23,7 @@ def run(
     case_ids: Optional[List[str]] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 10's Overload-vs-Atropos series."""
-    case_ids = case_ids if case_ids is not None else all_case_ids()
+    case_ids = case_ids if case_ids is not None else paper_case_ids()
     tput = ExperimentTable(
         "Fig 10a: normalized throughput per case",
         ["case", "Overload", "Atropos"],

@@ -21,7 +21,7 @@ from typing import List, Optional
 from ..apps.base import Operation
 from ..apps.mysql import MySQL, MySQLConfig, light_mix
 from ..campaign import RunSpec, execute
-from ..cases import all_case_ids
+from ..cases import paper_case_ids
 from ..core.atropos import Atropos
 from ..core.config import AtroposConfig
 from ..workloads.spec import OpenLoopSource, ScheduledOp, Workload
@@ -43,7 +43,7 @@ def run(
     case_ids: Optional[List[str]] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 13's per-case policy-ablation bars."""
-    case_ids = case_ids if case_ids is not None else all_case_ids()
+    case_ids = case_ids if case_ids is not None else paper_case_ids()
     tput = ExperimentTable(
         "Fig 13: normalized throughput per policy",
         ["case"] + list(POLICIES),

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..campaign import execute
-from ..cases import all_case_ids
+from ..cases import paper_case_ids
 from .case_family import case_spec
 from .harness import normalize
 from .tables import ExperimentResult, ExperimentTable
@@ -28,7 +28,7 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Figure 9's per-case normalized tput/p99 bars."""
     # The paper's figure plots c1-c15; we include c16 as well.
-    case_ids = case_ids if case_ids is not None else all_case_ids()
+    case_ids = case_ids if case_ids is not None else paper_case_ids()
     systems = systems if systems is not None else list(SYSTEMS)
     tput = ExperimentTable(
         "Fig 9a: normalized throughput per case", ["case"] + systems

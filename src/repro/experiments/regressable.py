@@ -1,7 +1,7 @@
 """Registry of regressable targets for ``repro regress``.
 
 A *regress entry* is ``(name, RunSpec)``: a stable display name plus the
-declarative run the observatory snapshots and later replays.  Three
+declarative run the observatory snapshots and later replays.  Four
 families are registered:
 
 ``case``
@@ -16,6 +16,10 @@ families are registered:
 ``cluster``
     The coordinated fleet-attribution demo; regressed on summary
     scalars plus the FleetResult content digest.
+``lever``
+    The mitigation-lever contrast: lock-reshape and composite runs of
+    the parkable lock case (c17), anchoring the Malthusian passivation
+    path's audit mix and victim p99.
 """
 
 from __future__ import annotations
@@ -29,7 +33,11 @@ from ..campaign.spec import RunSpec
 REGRESS_CASES = ("c1", "c2", "c5", "c7", "c12", "c14")
 
 #: Known target family names, in capture order.
-REGRESS_TARGETS = ("case", "dag", "cluster")
+REGRESS_TARGETS = ("case", "dag", "cluster", "lever")
+
+#: The lever-family regress set: the parkable MongoDB lock case under
+#: each non-default lever.
+REGRESS_LEVER_CASES = ("c17",)
 
 #: Experiment id stamped on regress-owned RunSpecs (bookkeeping only;
 #: excluded from cache identity, so regress runs share cache entries
@@ -82,6 +90,23 @@ def cluster_entries(seed: int = 1) -> List[Tuple[str, RunSpec]]:
     ]
 
 
+def lever_entries(seed: int = 1) -> List[Tuple[str, RunSpec]]:
+    """Non-default lever runs of the parkable lock case (c17)."""
+    from .case_family import case_spec
+
+    return [
+        (
+            f"lever:{case_id}-{lever}",
+            case_spec(
+                EXPERIMENT_ID, case_id, seed,
+                atropos_overrides={}, lever=lever,
+            ),
+        )
+        for case_id in REGRESS_LEVER_CASES
+        for lever in ("lock_reshape", "composite")
+    ]
+
+
 def regress_entries(
     targets: Iterable[str] = ("case",),
     cases: Iterable[str] = REGRESS_CASES,
@@ -101,6 +126,8 @@ def regress_entries(
             entries.extend(dag_entries(seed))
         elif target == "cluster":
             entries.extend(cluster_entries(seed))
+        elif target == "lever":
+            entries.extend(lever_entries(seed))
         else:
             raise KeyError(
                 f"unknown regress target {target!r}; "

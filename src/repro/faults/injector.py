@@ -208,10 +208,20 @@ class FaultInjector:
         Matches the full resource name (``mysql.buffer_pool``) or a
         dotted suffix (``buffer_pool``), so plans stay portable across
         applications that follow the ``<app>.<resource>`` convention.
+        Looks one level into list/tuple attributes too -- apps keep
+        per-instance resources in collections (``mongodb``'s per-
+        collection locks), and a resource found there but lacking a
+        real ``degrade()`` must report *that*, not "no match".
         """
         if self._app is None:
             return None
+        candidates = []
         for value in vars(self._app).values():
+            if isinstance(value, (list, tuple)):
+                candidates.extend(value)
+            else:
+                candidates.append(value)
+        for value in candidates:
             name = getattr(value, "name", None)
             if not isinstance(name, str) or not callable(
                 getattr(value, "degrade", None)

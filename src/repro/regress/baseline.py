@@ -60,6 +60,9 @@ class CaseCapture:
     decision_mix: Dict[str, int] = field(default_factory=dict)
     audit_mix: Dict[str, int] = field(default_factory=dict)
     digest: Optional[str] = None
+    #: Scraped-window telemetry summaries (``repro regress baseline
+    #: --telemetry``); informational, absent from plain captures.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_outcome(cls, name: str, outcome: Any) -> "CaseCapture":
@@ -87,7 +90,7 @@ class CaseCapture:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "spec": self.spec,
             "summary": self.summary,
@@ -97,6 +100,9 @@ class CaseCapture:
             "audit_mix": self.audit_mix,
             "digest": self.digest,
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CaseCapture":
@@ -109,6 +115,7 @@ class CaseCapture:
             decision_mix=data.get("decision_mix", {}),
             audit_mix=data.get("audit_mix", {}),
             digest=data.get("digest"),
+            telemetry=data.get("telemetry"),
         )
 
 

@@ -27,17 +27,73 @@ def capture(
     entries: Sequence[Tuple[str, RunSpec]],
     jobs: Optional[int] = None,
     meta: Optional[Dict[str, Any]] = None,
+    telemetry: bool = False,
+    scrape_interval: float = 0.25,
 ) -> RegressBaseline:
-    """Run the entries and snapshot the outcomes as a baseline."""
+    """Run the entries and snapshot the outcomes as a baseline.
+
+    With ``telemetry=True`` every run executes under a scraping
+    :class:`~repro.telemetry.TelemetrySession` (serial, cache reads
+    bypassed -- a cache hit would yield no scrape windows) and each
+    capture additionally carries :func:`summarize_telemetry`'s condensed
+    window summaries.
+    """
     from ..campaign import execute
 
     specs = [spec for _, spec in entries]
-    outcomes = execute(specs, jobs=jobs)
+    if telemetry:
+        from ..telemetry import TelemetrySession, telemetry_session
+
+        session = TelemetrySession(interval=scrape_interval)
+        with telemetry_session(session):
+            outcomes = execute(specs, jobs=jobs)
+        telemetry_runs = list(session.runs)
+    else:
+        outcomes = execute(specs, jobs=jobs)
+        telemetry_runs = []
     cases = [
         CaseCapture.from_outcome(entry_name, outcome)
         for (entry_name, _), outcome in zip(entries, outcomes)
     ]
+    for case, run in zip(cases, telemetry_runs):
+        case.telemetry = summarize_telemetry(run)
     return RegressBaseline(name=name, cases=cases, meta=dict(meta or {}))
+
+
+def summarize_telemetry(run: Any) -> Dict[str, Any]:
+    """Condense one run's scrape windows into a deterministic summary.
+
+    Per scraped key: sample count and min/mean/max/last over every
+    finite window value, rounded to nine decimals (the same canonical
+    rounding as the summary scalars), keys sorted -- so an unchanged
+    tree produces a byte-identical telemetry block.
+    """
+
+    def _round(value: float) -> float:
+        return round(value, 9)
+
+    keys = sorted({key for window in run.windows for key in window.values})
+    values: Dict[str, Dict[str, Any]] = {}
+    for key in keys:
+        samples = [
+            window.values[key]
+            for window in run.windows
+            if key in window.values and window.values[key] == window.values[key]
+        ]
+        if not samples:
+            continue
+        values[key] = {
+            "n": len(samples),
+            "min": _round(min(samples)),
+            "max": _round(max(samples)),
+            "mean": _round(sum(samples) / len(samples)),
+            "last": _round(samples[-1]),
+        }
+    return {
+        "interval": run.interval,
+        "windows": len(run.windows),
+        "values": values,
+    }
 
 
 def recapture(
@@ -90,6 +146,7 @@ def apply_perturbation(
         warmup=spec.warmup,
         faults=spec.faults,
         adaptive=spec.adaptive,
+        lever=spec.lever,
     )
 
 

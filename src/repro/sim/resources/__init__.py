@@ -3,6 +3,7 @@
 from .base import Grant, Resource
 from .cpu import CPU
 from .disk import DiskIO
+from .docbuffer import DocAccessOutcome, DocumentBuffer
 from .lock import LockGrant, SyncLock
 from .pool import EvictionOutcome, MemoryPool
 from .threadpool import QueueFull, SlotGrant, ThreadPool
@@ -10,6 +11,8 @@ from .threadpool import QueueFull, SlotGrant, ThreadPool
 __all__ = [
     "CPU",
     "DiskIO",
+    "DocAccessOutcome",
+    "DocumentBuffer",
     "EvictionOutcome",
     "Grant",
     "LockGrant",

@@ -22,6 +22,9 @@ EXPECTED_TYPES = {
     "c14": "Synchronization",
     "c15": "Thread pool",
     "c16": "Synchronization",
+    # Extension cases (not in Table 2).
+    "c17": "Synchronization",
+    "c18": "Memory",
 }
 
 EXPECTED_APPS = {
@@ -29,12 +32,20 @@ EXPECTED_APPS = {
     "c5": "mysql", "c6": "postgres", "c7": "postgres", "c8": "postgres",
     "c9": "apache", "c10": "elasticsearch", "c11": "elasticsearch",
     "c12": "elasticsearch", "c13": "elasticsearch", "c14": "solr",
-    "c15": "solr", "c16": "etcd",
+    "c15": "solr", "c16": "etcd", "c17": "mongodb", "c18": "mongodb",
 }
 
 
-def test_all_16_cases_registered():
-    assert all_case_ids() == [f"c{i}" for i in range(1, 17)]
+def test_all_cases_registered():
+    assert all_case_ids() == [f"c{i}" for i in range(1, 19)]
+
+
+def test_paper_case_ids_pin_table2():
+    from repro.cases import paper_case_ids
+
+    assert paper_case_ids() == [f"c{i}" for i in range(1, 17)]
+    assert all(not get_case(cid).extension for cid in paper_case_ids())
+    assert get_case("c17").extension and get_case("c18").extension
 
 
 def test_resource_types_match_table2():
@@ -48,13 +59,14 @@ def test_apps_match_table2():
 
 
 def test_table2_category_counts():
-    """Eight sync, three thread-pool, three memory, two system cases."""
+    """Nine sync, three thread-pool, four memory, two system cases
+    (Table 2's 8/3/3/2 plus the two mongodb extension cases)."""
     from collections import Counter
 
     counts = Counter(c.resource_type for c in all_cases())
-    assert counts["Synchronization"] == 8
+    assert counts["Synchronization"] == 9
     assert counts["Thread pool"] == 3
-    assert counts["Memory"] == 3
+    assert counts["Memory"] == 4
     assert counts["System"] == 2
 
 

@@ -1,0 +1,84 @@
+"""Unit tests for the mitigation-lever registry and Atropos wiring."""
+
+import pytest
+
+from repro.core import Atropos, AtroposConfig, CancellationAction
+from repro.core.levers import (
+    LEVERS,
+    CancelLever,
+    CompositeLever,
+    LockScheduleLever,
+    resolve_lever,
+)
+from repro.sim import Environment
+from repro.sim.resources import SyncLock
+
+
+class TestRegistry:
+    def test_known_levers(self):
+        assert list(LEVERS) == ["cancel", "lock_reshape", "composite"]
+        assert resolve_lever("cancel") is CancelLever
+        assert resolve_lever("lock_reshape") is LockScheduleLever
+        assert resolve_lever("composite") is CompositeLever
+
+    def test_unknown_lever_names_the_known_ones(self):
+        with pytest.raises(KeyError, match="cancel, lock_reshape, composite"):
+            resolve_lever("nuke")
+
+    def test_cancellation_action_alias_is_cancel_lever(self):
+        # Backward compatibility: the historical action-stage name.
+        assert CancellationAction is CancelLever
+
+    def test_config_rejects_unknown_lever(self):
+        with pytest.raises(ValueError, match="lever must be one of"):
+            AtroposConfig(lever="nuke")
+
+
+class TestAtroposWiring:
+    def test_default_lever_is_cancel(self):
+        controller = Atropos(Environment())
+        assert type(controller.lever) is CancelLever
+        assert controller.pipeline.action is controller.lever
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lock_reshape", LockScheduleLever), ("composite", CompositeLever)],
+    )
+    def test_config_selects_lever(self, name, cls):
+        controller = Atropos(Environment(), AtroposConfig(lever=name))
+        assert type(controller.lever) is cls
+
+    def test_lever_snapshot_in_controller_telemetry(self):
+        controller = Atropos(
+            Environment(), AtroposConfig(lever="lock_reshape")
+        )
+        snap = controller.telemetry_snapshot()
+        assert snap["lever"]["name"] == "lock_reshape"
+        assert snap["lever"]["actions_total"] == 0
+        assert snap["lever"]["parked_total"] == 0
+
+
+class TestLockDiscovery:
+    def test_bind_discovers_locks_including_lists(self):
+        env = Environment()
+        controller = Atropos(env, AtroposConfig(lever="lock_reshape"))
+
+        class App:
+            def __init__(self):
+                self.one = SyncLock(env, "app.latch")
+                self.many = [
+                    SyncLock(env, "app.table_lock.0"),
+                    SyncLock(env, "app.table_lock.1"),
+                ]
+                self.other = "not a lock"
+
+        controller.bind(App())
+        names = [lock.name for lock in controller.lever._locks]
+        assert names == ["app.latch", "app.table_lock.0", "app.table_lock.1"]
+        assert [
+            lock.name
+            for lock in controller.lever._locks_for("app.table_lock")
+        ] == ["app.table_lock.0", "app.table_lock.1"]
+        assert [
+            lock.name for lock in controller.lever._locks_for("app.latch")
+        ] == ["app.latch"]

@@ -118,7 +118,7 @@ class TestHarness:
         expected = {
             "fig2", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12",
             "fig13", "fig14", "table1", "table2", "table3", "resilience",
-            "ablate-adaptive", "cluster", "dag",
+            "ablate-adaptive", "ablate-levers", "cluster", "dag",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -115,6 +115,44 @@ def test_degrade_missing_resource_is_recorded_not_fatal():
     assert "no degradable resource" in injector.events[0].detail
 
 
+def test_degrade_lock_reports_no_hook_not_no_match():
+    """A lock held in a list attribute resolves by name and reports its
+    missing degrade() hook (the lock.py docstring contract), instead of
+    the misleading "no degradable resource matching"."""
+    from repro.sim.resources import SyncLock
+
+    env = Environment()
+    locks = [
+        SyncLock(env, f"mongodb.collection_lock.{i}") for i in range(2)
+    ]
+    app = StubApp(collection_locks=locks)
+    injector = arm(
+        env,
+        FaultPlan.of(degrade("collection_lock.1", 0.5, at=0.0)),
+        app=app,
+    )
+    env.run(until=0.1)
+    event = injector.events[0]
+    assert not event.applied
+    assert "mongodb.collection_lock.1 has no degrade() hook" in event.detail
+
+
+def test_degrade_finds_degradable_resources_inside_lists():
+    env = Environment()
+    pools = [
+        MemoryPool(env, f"app.pool.{i}", capacity_pages=100)
+        for i in range(2)
+    ]
+    app = StubApp(pools=pools)
+    injector = arm(
+        env, FaultPlan.of(degrade("pool.0", 0.5, at=0.0)), app=app
+    )
+    env.run(until=0.1)
+    assert injector.events[0].applied
+    assert pools[0].capacity_pages == 50
+    assert pools[1].capacity_pages == 100
+
+
 def test_disk_degrade_scales_bandwidth_and_latency():
     env = Environment()
     disk = DiskIO(

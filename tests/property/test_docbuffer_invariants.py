@@ -1,0 +1,180 @@
+"""Property-based tests for the page-packed document LRU buffer."""
+
+import math
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim import Environment
+from repro.sim.resources import DocumentBuffer
+
+#: collection -> document size; page 4096 gives dpp 64 and 4.
+COLLECTIONS = {"small": 64, "large": 1024}
+OWNERS = ("hot-set", "ingest", "reader")
+
+
+def make_buffer(capacity_pages: int) -> DocumentBuffer:
+    buf = DocumentBuffer(
+        Environment(), "buf",
+        capacity_pages=capacity_pages, page_size_bytes=4096,
+    )
+    for collection, doc_bytes in COLLECTIONS.items():
+        buf.register_collection(collection, doc_bytes)
+    return buf
+
+
+class BufferMachine(RuleBasedStateMachine):
+    """Random access/release/degrade sequences vs an OrderedDict model.
+
+    The model is the obvious-but-slow reference: one OrderedDict in LRU
+    order (oldest first) mapping ``(collection, doc_id) -> owner``, with
+    page occupancy recomputed from scratch as the sum of per-collection
+    ceilings.  Every rule replays the operation on both and compares.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.buf = make_buffer(capacity_pages=4)
+        self.model = OrderedDict()
+
+    # -- reference model ------------------------------------------------
+    def _model_pages(self) -> int:
+        counts = {}
+        for collection, _doc_id in self.model:
+            counts[collection] = counts.get(collection, 0) + 1
+        return sum(
+            math.ceil(count / self.buf.docs_per_page(collection))
+            for collection, count in counts.items()
+        )
+
+    def _model_evict_to_fit(self) -> list:
+        evicted = []
+        while self._model_pages() > self.buf.capacity_pages:
+            key = next(iter(self.model))
+            del self.model[key]
+            evicted.append(key)
+        return evicted
+
+    # -- rules ----------------------------------------------------------
+    @rule(
+        owner=st.sampled_from(OWNERS),
+        collection=st.sampled_from(sorted(COLLECTIONS)),
+        doc_ids=st.lists(
+            st.integers(min_value=0, max_value=400),
+            min_size=1, max_size=40,
+        ),
+    )
+    def access(self, owner, collection, doc_ids):
+        outcome = self.buf.access(owner, collection, doc_ids)
+        hits = misses = 0
+        evicted = []
+        for doc_id in doc_ids:
+            key = (collection, doc_id)
+            if key in self.model:
+                hits += 1
+                self.model.move_to_end(key)
+            else:
+                misses += 1
+                self.model[key] = owner
+                evicted.extend(self._model_evict_to_fit())
+        assert outcome.hits == hits
+        assert outcome.misses == misses
+        assert outcome.evicted_docs == len(evicted)
+        # O(1)-per-document eviction: exactly one unlink per evicted doc.
+        assert outcome.unlink_ops == outcome.evicted_docs
+        assert sum(outcome.victims.values()) == outcome.evicted_docs
+
+    @rule(owner=st.sampled_from(OWNERS))
+    def release(self, owner):
+        released = self.buf.release_owner(owner)
+        mine = [k for k, who in self.model.items() if who == owner]
+        for key in mine:
+            del self.model[key]
+        assert released == len(mine)
+
+    @rule(factor=st.sampled_from([0.25, 0.5, 1.0]))
+    def degrade(self, factor):
+        self.buf.degrade(factor)
+        self._model_evict_to_fit()
+
+    @rule()
+    def restore(self):
+        self.buf.restore()
+
+    # -- invariants -----------------------------------------------------
+    @invariant()
+    def eviction_order_matches_reference(self):
+        assert self.buf.lru_keys() == list(self.model)
+
+    @invariant()
+    def occupancy_is_sum_of_page_ceilings(self):
+        assert self.buf.pages_used == self._model_pages()
+        assert self.buf.pages_used == sum(
+            math.ceil(
+                self.buf.resident_docs(c) / self.buf.docs_per_page(c)
+            )
+            for c in COLLECTIONS
+        )
+
+    @invariant()
+    def never_over_capacity(self):
+        assert 0 <= self.buf.pages_used <= self.buf.capacity_pages
+
+    @invariant()
+    def counters_consistent(self):
+        assert self.buf.resident_docs() == len(self.model)
+        assert (
+            self.buf.total_evicted_pages <= self.buf.total_evicted_docs
+        )
+
+
+TestBufferMachine = BufferMachine.TestCase
+TestBufferMachine.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None
+)
+
+
+class TestEvictionWork:
+    """Deterministic bounds on the per-eviction walk."""
+
+    def test_eviction_work_bounded_by_packing_not_population(self):
+        """One fault's eviction work depends on packing density only.
+
+        Filling a 16x larger buffer (16x the resident documents) must
+        not change how many unlinks a single faulting access performs:
+        the walk is bounded by docs-per-page, never by population.
+        """
+        work = []
+        for capacity in (8, 128):
+            buf = make_buffer(capacity_pages=capacity)
+            dpp = buf.docs_per_page("small")
+            buf.access("ingest", "small", range(capacity * dpp))
+            assert buf.free_pages == 0
+            outcome = buf.access("reader", "large", [0])
+            assert outcome.misses == 1
+            assert outcome.unlink_ops == outcome.evicted_docs
+            # Freeing one page of small documents = dpp unlinks.
+            assert outcome.evicted_docs == dpp
+            assert outcome.evicted_pages == 1
+            work.append(outcome.unlink_ops)
+        assert work[0] == work[1]
+
+    def test_small_documents_make_eviction_slow(self):
+        """The packing asymmetry the mongodb-d4 analyzer documents."""
+        buf = make_buffer(capacity_pages=8)
+        small_dpp = buf.docs_per_page("small")
+        large_dpp = buf.docs_per_page("large")
+        buf.access("ingest", "small", range(4 * small_dpp))
+        buf.access("ingest", "large", range(4 * large_dpp))
+        assert buf.free_pages == 0
+        # Faulting over small-document pages walks dpp=64 entries...
+        evicted_small = buf.access("reader", "large", [9000]).evicted_docs
+        assert evicted_small == small_dpp
+        # ...while the same fault over large-document pages walks 4.
+        buf2 = make_buffer(capacity_pages=8)
+        buf2.access("ingest", "large", range(8 * large_dpp))
+        evicted_large = buf2.access("reader", "small", [9000]).evicted_docs
+        assert evicted_large == large_dpp
+        assert evicted_small > evicted_large

@@ -32,6 +32,19 @@ class LockMachine(RuleBasedStateMachine):
         grant = data.draw(st.sampled_from(open_grants))
         grant.close()
 
+    @rule(data=st.data())
+    def reshape(self, data):
+        """Park the op-class of one random queued waiter."""
+        waiters = list(self.lock._waiters)
+        if not waiters:
+            return
+        victim = data.draw(st.sampled_from(waiters))
+        self.lock.reshape_queue(lambda g: g.owner == victim.owner)
+
+    @rule()
+    def reactivate(self):
+        self.lock.reactivate()
+
     @invariant()
     def mutual_exclusion(self):
         holders = self.lock.holders
@@ -62,9 +75,106 @@ class LockMachine(RuleBasedStateMachine):
             if g.closed:
                 assert g not in self.lock.holders
                 assert g not in self.lock._waiters
+                assert g not in self.lock._passivated
+
+    @invariant()
+    def each_open_grant_in_exactly_one_place(self):
+        """Conservation: parked grants are never lost or duplicated."""
+        places = (
+            list(map(id, self.lock._holders))
+            + list(map(id, self.lock._waiters))
+            + list(map(id, self.lock._passivated))
+        )
+        assert len(places) == len(set(places))
+        open_ids = {id(g) for g in self.grants if not g.closed and not g.granted}
+        assert open_ids <= set(places)
+
+    @invariant()
+    def idle_lock_holds_no_parked_waiters(self):
+        """Progress guarantee: a fully idle lock auto-readmits."""
+        if not self.lock._holders and not self.lock._waiters:
+            assert not self.lock._passivated
+
+    @invariant()
+    def passivation_counters_consistent(self):
+        assert (
+            self.lock.waiters_reactivated_total
+            <= self.lock.waiters_culled_total
+        )
+        assert self.lock.passivated_count <= self.lock.waiters_culled_total
 
 
 TestLockMachine = LockMachine.TestCase
 TestLockMachine.settings = settings(
     max_examples=60, stateful_step_count=50, deadline=None
 )
+
+
+class TestReshapeQueue:
+    """Deterministic passivation semantics (Malthusian scheduling)."""
+
+    def _lock(self):
+        return SyncLock(Environment(), "l")
+
+    def test_parked_waiters_skip_dispatch_until_reactivated(self):
+        lock = self._lock()
+        holder = lock.acquire(owner="holder")
+        culprit = lock.acquire(owner="culprit")
+        victim = lock.acquire(owner="victim")
+        assert lock.reshape_queue(lambda g: g.owner == "culprit") == 1
+        assert lock.passivated_count == 1
+        holder.close()
+        # The victim overtakes the parked culprit.
+        assert victim.granted and not culprit.granted
+        assert lock.reactivate() == 1
+        victim.close()
+        assert culprit.granted
+
+    def test_active_waiters_keep_fifo_order(self):
+        lock = self._lock()
+        holder = lock.acquire(owner="holder")
+        grants = [lock.acquire(owner=f"w{i}") for i in range(4)]
+        lock.reshape_queue(lambda g: g.owner in ("w0", "w2"))
+        assert [g.owner for g in lock._waiters] == ["w1", "w3"]
+        assert [g.owner for g in lock.passivated] == ["w0", "w2"]
+        lock.reactivate()
+        # Readmitted grants queue behind the surviving waiters.
+        assert [g.owner for g in lock._waiters] == ["w1", "w3", "w0", "w2"]
+        holder.close()
+        for grant in grants:
+            assert grant.granted or grant in lock._waiters
+
+    def test_idle_lock_auto_reactivates(self):
+        lock = self._lock()
+        holder = lock.acquire(owner="holder")
+        culprit = lock.acquire(owner="culprit")
+        lock.reshape_queue(lambda g: g.owner == "culprit")
+        holder.close()
+        # Nothing active remained, so the parked culprit was readmitted
+        # and granted without any lever intervention.
+        assert culprit.granted
+        assert lock.passivated_count == 0
+        assert lock.waiters_reactivated_total == 1
+
+    def test_parked_grant_close_abandons_cleanly(self):
+        lock = self._lock()
+        holder = lock.acquire(owner="holder")
+        culprit = lock.acquire(owner="culprit")
+        lock.reshape_queue(lambda g: g.owner == "culprit")
+        culprit.close()
+        assert lock.passivated_count == 0
+        holder.close()
+        assert not lock._holders and not lock._waiters
+
+    def test_telemetry_counters(self):
+        lock = self._lock()
+        lock.acquire(owner="holder")
+        lock.acquire(owner="culprit")
+        lock.acquire(owner="culprit")
+        assert lock.reshape_queue(lambda g: g.owner == "culprit") == 2
+        snap = lock.telemetry_snapshot()
+        assert snap["waiters_parked"] == 2.0
+        assert snap["waiters_culled_total"] == 2.0
+        assert snap["waiters_reactivated_total"] == 0.0
+        assert lock.reactivate() == 2
+        assert lock.telemetry_snapshot()["waiters_parked"] == 0.0

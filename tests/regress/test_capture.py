@@ -98,6 +98,14 @@ class TestRegressEntries:
         families = {spec.family for _, spec in entries}
         assert families == {"dag", "cluster"}
 
+    def test_lever_target_pins_non_default_levers(self):
+        entries = regress_entries(targets=("lever",))
+        names = [name for name, _ in entries]
+        assert names == ["lever:c17-lock_reshape", "lever:c17-composite"]
+        assert [spec.lever for _, spec in entries] == [
+            "lock_reshape", "composite",
+        ]
+
 
 class TestCaptureLoop:
     def test_unchanged_tree_recapture_passes(self):
@@ -127,3 +135,33 @@ class TestCaptureLoop:
         current = recapture(baseline, jobs=1)
         assert current.cases[0].spec == baseline.cases[0].spec
         assert current.meta["checked_against"] == "t"
+
+
+class TestTelemetryCapture:
+    def test_telemetry_capture_snapshots_window_summaries(self):
+        entries = [("case:c1", _short_case_spec())]
+        baseline = capture("t", entries, jobs=1, telemetry=True)
+        telemetry = baseline.cases[0].telemetry
+        assert telemetry is not None
+        assert telemetry["interval"] == 0.25
+        assert telemetry["windows"] > 0
+        p99 = telemetry["values"]["p99"]
+        assert p99["n"] <= telemetry["windows"]
+        assert p99["min"] <= p99["mean"] <= p99["max"]
+        # The block round-trips through the baseline JSON form.
+        from repro.regress.baseline import RegressBaseline
+
+        reread = RegressBaseline.from_dict(baseline.to_dict())
+        assert reread.cases[0].telemetry == telemetry
+
+    def test_telemetry_capture_is_deterministic(self):
+        entries = [("case:c1", _short_case_spec())]
+        first = capture("t", entries, jobs=1, telemetry=True)
+        second = capture("t", entries, jobs=1, telemetry=True)
+        assert first.cases[0].to_dict() == second.cases[0].to_dict()
+
+    def test_plain_capture_has_no_telemetry_block(self):
+        entries = [("case:c1", _short_case_spec())]
+        baseline = capture("t", entries, jobs=1)
+        assert baseline.cases[0].telemetry is None
+        assert "telemetry" not in baseline.cases[0].to_dict()

@@ -85,11 +85,34 @@ class TestParser:
         assert args.cases == ["c1", "c2"]
         assert args.seed == 3
 
-    def test_regress_baseline_rejects_unknown_target(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["regress", "baseline", "--targets", "bogus"]
-            )
+    def test_regress_baseline_parses_any_target_name(self):
+        # Validation happens in cmd_regress against REGRESS_TARGETS, not
+        # in argparse (a hard-coded choices list drifts as families are
+        # added); see TestCommands.test_regress_unknown_target_exits_2.
+        args = build_parser().parse_args(
+            ["regress", "baseline", "--targets", "lever"]
+        )
+        assert args.targets == ["lever"]
+
+    def test_regress_baseline_parses_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["regress", "baseline", "--telemetry",
+             "--scrape-interval", "0.5"]
+        )
+        assert args.telemetry
+        assert args.scrape_interval == 0.5
+        assert not build_parser().parse_args(
+            ["regress", "baseline"]
+        ).telemetry
+
+    def test_ablate_parses_levers_flag(self):
+        args = build_parser().parse_args(
+            ["ablate", "--levers", "--cases", "c17", "c18"]
+        )
+        assert args.command == "ablate"
+        assert args.levers
+        assert args.cases == ["c17", "c18"]
+        assert not build_parser().parse_args(["ablate"]).levers
 
     def test_regress_check_parses(self):
         args = build_parser().parse_args(
@@ -277,6 +300,15 @@ class TestCommands:
         assert main(
             ["regress", "check", "--baseline", "/no/such/file.json"]
         ) == 2
+
+    def test_regress_unknown_target_exits_2(self, capsys):
+        assert main(
+            ["regress", "baseline", "--targets", "case", "bogus"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown regress target(s): bogus" in err
+        for known in ("case", "dag", "cluster", "lever"):
+            assert known in err
 
     def test_regress_schedule_empty_history(self, tmp_path, capsys):
         from repro.regress.baseline import RegressBaseline
